@@ -1,0 +1,50 @@
+package extdb
+
+// The benchmark harness: one testing.B benchmark per experiment of
+// EXPERIMENTS.md (E1–E10), each regenerating the corresponding
+// table/claim of the paper's evaluation in quick mode. Run the full-size
+// sweep with cmd/benchrunner.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, f func(bench.Config) bench.Table) {
+	b.Helper()
+	cfg := bench.Config{Quick: true}
+	var t bench.Table
+	for i := 0; i < b.N; i++ {
+		t = f(cfg)
+	}
+	b.StopTimer()
+	if len(t.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	b.Log("\n" + t.Format())
+}
+
+func BenchmarkE1_IndexVsFunctional(b *testing.B) { runExperiment(b, bench.E1IndexVsFunctional) }
+
+func BenchmarkE2_TextPre8iVs8i(b *testing.B) { runExperiment(b, bench.E2TextPre8iVs8i) }
+
+func BenchmarkE3_SpatialTileJoinVsOperator(b *testing.B) {
+	runExperiment(b, bench.E3SpatialTileJoinVsOperator)
+}
+
+func BenchmarkE4_VIRPhases(b *testing.B) { runExperiment(b, bench.E4VIRPhases) }
+
+func BenchmarkE5_ChemFileVsLOB(b *testing.B) { runExperiment(b, bench.E5ChemFileVsLOB) }
+
+func BenchmarkE6_OptimizerChoice(b *testing.B) { runExperiment(b, bench.E6OptimizerChoice) }
+
+func BenchmarkE7_ScanContext(b *testing.B) { runExperiment(b, bench.E7ScanContext) }
+
+func BenchmarkE8_BatchFetch(b *testing.B) { runExperiment(b, bench.E8BatchFetch) }
+
+func BenchmarkE9_MaintenanceOverhead(b *testing.B) { runExperiment(b, bench.E9MaintenanceOverhead) }
+
+func BenchmarkE10_CollectionIndex(b *testing.B) { runExperiment(b, bench.E10CollectionIndex) }
+
+func BenchmarkA1_CallbacksVsDirect(b *testing.B) { runExperiment(b, bench.A1CallbacksVsDirect) }

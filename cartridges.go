@@ -1,0 +1,78 @@
+package extdb
+
+import (
+	"repro/internal/cartridge/chem"
+	"repro/internal/cartridge/spatial"
+	"repro/internal/cartridge/text"
+	"repro/internal/cartridge/vir"
+)
+
+// InstallTextCartridge registers the interMedia-style full-text cartridge
+// and creates its schema objects: the Contains operator, its Score
+// ancillary operator, and TextIndexType. Domain indexes accept
+// PARAMETERS directives :Language, :Ignore (stop words), :Scan
+// precompute|lazy, and :Memory value|handle.
+func InstallTextCartridge(db *DB, s *Session) error {
+	if err := text.Register(db); err != nil {
+		return err
+	}
+	return text.Setup(s)
+}
+
+// TextTwoStepQuery replays the pre-Oracle8i two-step text query execution
+// (materialize matching rowids into a temporary result table, then join),
+// the baseline the paper's §3.2.1 case study compares against.
+var TextTwoStepQuery = text.TwoStepQuery
+
+// InstallSpatialCartridge registers the spatial cartridge and creates its
+// schema objects: the SDO_GEOMETRY object type, the Sdo_Relate and
+// Sdo_Filter operators, the tile-index SpatialIndexType, and the
+// external-R-tree SpatialRTreeType (PARAMETERS ':Events on' keeps the
+// external tree transactional through database events).
+func InstallSpatialCartridge(db *DB, s *Session) error {
+	if err := spatial.Register(db); err != nil {
+		return err
+	}
+	return spatial.Setup(s)
+}
+
+// InstallVIRCartridge registers the image-retrieval cartridge and creates
+// its schema objects: the VIR_SIGNATURE object type, the VIRSimilar
+// operator with its VIRScore ancillary, and VIRIndexType (three-phase
+// evaluation).
+func InstallVIRCartridge(db *DB, s *Session) error {
+	if _, err := vir.Register(db); err != nil {
+		return err
+	}
+	return vir.Setup(s)
+}
+
+// InstallChemCartridge registers the chemistry cartridge and creates its
+// schema objects: the ChemExact / ChemContains / ChemSimilar /
+// ChemTautomer operators, the ChemScore ancillary, and ChemIndexType.
+// Domain indexes accept PARAMETERS ':Storage lob|file :Dir <path>
+// [:Events on]'.
+func InstallChemCartridge(db *DB, s *Session) error {
+	if _, err := chem.Register(db); err != nil {
+		return err
+	}
+	return chem.Setup(s)
+}
+
+// Geometry is a 2-D spatial geometry (point, rectangle or polygon) for
+// use with the spatial cartridge; convert with ToValue for SQL binds.
+type Geometry = spatial.Geometry
+
+// Spatial geometry constructors.
+var (
+	// SpatialPoint builds a point geometry.
+	SpatialPoint = spatial.NewPoint
+	// SpatialRect builds a rectangle geometry.
+	SpatialRect = spatial.NewRect
+	// SpatialPolygon builds a polygon geometry.
+	SpatialPolygon = spatial.NewPolygon
+)
+
+// Signature is a VIR image feature signature; convert with ToValue for
+// SQL binds.
+type Signature = vir.Signature

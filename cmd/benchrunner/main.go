@@ -1,0 +1,59 @@
+// Command benchrunner regenerates every experiment of EXPERIMENTS.md
+// (E1–E10) at full size and prints the result tables, reproducing the
+// evaluation section of the paper.
+//
+// Usage:
+//
+//	benchrunner [-quick] [-only E2,E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced data sizes")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E4); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.ToUpper(strings.TrimSpace(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	experiments := []struct {
+		id string
+		f  func(bench.Config) bench.Table
+	}{
+		{"E1", bench.E1IndexVsFunctional},
+		{"E2", bench.E2TextPre8iVs8i},
+		{"E3", bench.E3SpatialTileJoinVsOperator},
+		{"E4", bench.E4VIRPhases},
+		{"E5", bench.E5ChemFileVsLOB},
+		{"E6", bench.E6OptimizerChoice},
+		{"E7", bench.E7ScanContext},
+		{"E8", bench.E8BatchFetch},
+		{"E9", bench.E9MaintenanceOverhead},
+		{"E10", bench.E10CollectionIndex},
+		{"A1", bench.A1CallbacksVsDirect},
+	}
+	total := time.Now()
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		t := e.f(cfg)
+		fmt.Println(t.Format())
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments done in %v\n", time.Since(total).Round(time.Millisecond))
+}

@@ -1,0 +1,179 @@
+// Command extsql is an interactive SQL shell for the extdb engine with
+// all four data cartridges pre-installed. Statements end with ';'.
+//
+// Usage:
+//
+//	extsql [-db path] [-f script.sql]
+//
+// Meta commands: \tables, \plan <query>, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	extdb "repro"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	script := flag.String("f", "", "execute statements from file, then exit")
+	flag.Parse()
+
+	db, err := extdb.Open(extdb.Options{Path: *dbPath})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	for _, install := range []func(*extdb.DB, *extdb.Session) error{
+		extdb.InstallTextCartridge, extdb.InstallSpatialCartridge,
+		extdb.InstallVIRCartridge, extdb.InstallChemCartridge,
+	} {
+		if err := install(db, s); err != nil {
+			fmt.Fprintln(os.Stderr, "cartridge install:", err)
+			os.Exit(1)
+		}
+	}
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+	if interactive {
+		fmt.Println("extsql — extensible-indexing SQL shell (cartridges: text, spatial, vir, chem)")
+		fmt.Println(`end statements with ';'; \tables lists tables; \quit exits`)
+	}
+
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("SQL> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(db, s, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(s, strings.TrimSpace(buf.String()))
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func meta(db *extdb.DB, s *extdb.Session, cmd string) bool {
+	switch {
+	case cmd == `\quit` || cmd == `\q`:
+		return false
+	case cmd == `\tables`:
+		var names []string
+		for _, t := range db.Catalog().Tables() {
+			if !t.Hidden {
+				names = append(names, fmt.Sprintf("%s (%d rows)", strings.ToUpper(t.Name), t.RowCount))
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(" ", n)
+		}
+	case strings.HasPrefix(cmd, `\plan `):
+		run(s, "EXPLAIN PLAN FOR "+strings.TrimSuffix(strings.TrimPrefix(cmd, `\plan `), ";"))
+	case cmd == `\stats`:
+		st := db.PagerStats()
+		fmt.Printf("buffer pool: fetches=%d hits=%d misses=%d writes=%d evictions=%d allocs=%d\n",
+			st.Fetches, st.Hits, st.Misses, st.Writes, st.Evictions, st.Allocs)
+		fmt.Printf("ODCIIndexFetch calls: %d\n", db.FetchCalls())
+	default:
+		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\quit")
+	}
+	return true
+}
+
+func run(s *extdb.Session, stmt string) {
+	start := time.Now()
+	up := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "EXPLAIN") {
+		rs, err := s.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResult(rs)
+		fmt.Printf("%d row(s) in %v\n", len(rs.Rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	res, err := s.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok, %d row(s) affected in %v\n", res.RowsAffected, time.Since(start).Round(time.Microsecond))
+}
+
+func printResult(rs *extdb.ResultSet) {
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for r, row := range rs.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			cells[r][c] = v.String()
+			if len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	var sep strings.Builder
+	for _, w := range widths {
+		sep.WriteString("+" + strings.Repeat("-", w+2))
+	}
+	sep.WriteString("+")
+	fmt.Println(sep.String())
+	for i, c := range rs.Columns {
+		fmt.Printf("| %-*s ", widths[i], c)
+	}
+	fmt.Println("|")
+	fmt.Println(sep.String())
+	for _, row := range cells {
+		for c, v := range row {
+			fmt.Printf("| %-*s ", widths[c], v)
+		}
+		fmt.Println("|")
+	}
+	fmt.Println(sep.String())
+}

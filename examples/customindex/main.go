@@ -1,0 +1,221 @@
+// Customindex walks through the cartridge-developer steps of §2.2 using
+// the public API: define a functional implementation, create an operator,
+// implement the ODCIIndex routines, create an indextype, and use a domain
+// index — here a trigram index accelerating a substring-search operator
+// MatchesSub(column, fragment).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	extdb "repro"
+)
+
+// trigrams returns the set of 3-grams of s (shorter strings index as one
+// gram).
+func trigrams(s string) []string {
+	s = strings.ToLower(s)
+	if len(s) < 3 {
+		return []string{s}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i+3 <= len(s); i++ {
+		g := s[i : i+3]
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// trigramMethods implements extdb.IndexMethods (§2.2.3): index data lives
+// in an engine table DR$<index> maintained through SQL server callbacks.
+type trigramMethods struct{}
+
+func dt(info extdb.IndexInfo) string { return info.DataTableName("TRG") }
+
+func (trigramMethods) Create(s extdb.Server, info extdb.IndexInfo) error {
+	if _, err := s.Exec(fmt.Sprintf(`CREATE TABLE %s(gram VARCHAR2, rid NUMBER)`, dt(info))); err != nil {
+		return err
+	}
+	if _, err := s.Exec(fmt.Sprintf(`CREATE INDEX %s$G ON %s(gram)`, dt(info), dt(info))); err != nil {
+		return err
+	}
+	rows, err := s.Query(fmt.Sprintf(`SELECT %s, ROWID FROM %s`, info.ColumnName, info.TableName))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := indexRow(s, info, r[1].Int64(), r[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func indexRow(s extdb.Server, info extdb.IndexInfo, rid int64, v extdb.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	for _, g := range trigrams(v.Text()) {
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (?, ?)`, dt(info)),
+			extdb.Str(g), extdb.Int(rid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (trigramMethods) Alter(s extdb.Server, info extdb.IndexInfo, p string) error { return nil }
+func (trigramMethods) Truncate(s extdb.Server, info extdb.IndexInfo) error {
+	_, err := s.Exec(fmt.Sprintf(`DELETE FROM %s`, dt(info)))
+	return err
+}
+func (trigramMethods) Drop(s extdb.Server, info extdb.IndexInfo) error {
+	_, err := s.Exec(fmt.Sprintf(`DROP TABLE %s`, dt(info)))
+	return err
+}
+func (trigramMethods) Insert(s extdb.Server, info extdb.IndexInfo, rid int64, v extdb.Value) error {
+	return indexRow(s, info, rid, v)
+}
+func (trigramMethods) Delete(s extdb.Server, info extdb.IndexInfo, rid int64, v extdb.Value) error {
+	_, err := s.Exec(fmt.Sprintf(`DELETE FROM %s WHERE rid = ?`, dt(info)), extdb.Int(rid))
+	return err
+}
+func (m trigramMethods) Update(s extdb.Server, info extdb.IndexInfo, rid int64, oldV, newV extdb.Value) error {
+	if err := m.Delete(s, info, rid, oldV); err != nil {
+		return err
+	}
+	return m.Insert(s, info, rid, newV)
+}
+
+// Start intersects the posting lists of the fragment's trigrams, then
+// re-checks candidates with the functional predicate (trigram matching
+// over-approximates substring containment).
+func (trigramMethods) Start(s extdb.Server, info extdb.IndexInfo, call extdb.OperatorCall) (extdb.ScanState, error) {
+	frag := call.Args[0].Text()
+	var result map[int64]bool
+	for _, g := range trigrams(frag) {
+		rows, err := s.Query(fmt.Sprintf(`SELECT rid FROM %s WHERE gram = ?`, dt(info)), extdb.Str(g))
+		if err != nil {
+			return nil, err
+		}
+		set := map[int64]bool{}
+		for _, r := range rows {
+			set[r[0].Int64()] = true
+		}
+		if result == nil {
+			result = set
+			continue
+		}
+		for rid := range result {
+			if !set[rid] {
+				delete(result, rid)
+			}
+		}
+	}
+	// Verify candidates against the real column value (queries only — we
+	// run in scan mode).
+	var rids []int64
+	for rid := range result {
+		rows, err := s.Query(fmt.Sprintf(`SELECT %s FROM %s WHERE ROWID = ?`,
+			info.ColumnName, info.TableName), extdb.Int(rid))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 1 && strings.Contains(strings.ToLower(rows[0][0].Text()), strings.ToLower(frag)) {
+			rids = append(rids, rid)
+		}
+	}
+	return extdb.StateValue{V: &rids}, nil
+}
+
+func (trigramMethods) Fetch(s extdb.Server, st extdb.ScanState, maxRows int) (extdb.FetchResult, extdb.ScanState, error) {
+	rids := st.(extdb.StateValue).V.(*[]int64)
+	n := len(*rids)
+	if maxRows > 0 && maxRows < n {
+		n = maxRows
+	}
+	res := extdb.FetchResult{RIDs: (*rids)[:n], Done: n == len(*rids)}
+	*rids = (*rids)[n:]
+	return res, st, nil
+}
+
+func (trigramMethods) Close(s extdb.Server, st extdb.ScanState) error { return nil }
+
+func main() {
+	db, err := extdb.Open(extdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+
+	// Step 1 (§2.2.1): the functional implementation of the operator.
+	err = db.Registry().RegisterFunction("SubstrMatch", func(args []extdb.Value) (extdb.Value, error) {
+		if len(args) < 2 || args[0].IsNull() || args[1].IsNull() {
+			return extdb.Num(0), nil
+		}
+		if strings.Contains(strings.ToLower(args[0].Text()), strings.ToLower(args[1].Text())) {
+			return extdb.Num(1), nil
+		}
+		return extdb.Num(0), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3 (§2.2.3): register the ODCIIndex implementation.
+	if err := db.Registry().RegisterMethods("TrigramMethods", trigramMethods{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Steps 2 and 4 (§2.2.2, §2.2.4): CREATE OPERATOR and CREATE INDEXTYPE.
+	for _, ddl := range []string{
+		`CREATE OPERATOR MatchesSub BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING SubstrMatch`,
+		`CREATE INDEXTYPE TrigramIndexType FOR MatchesSub(VARCHAR2, VARCHAR2) USING TrigramMethods`,
+		`CREATE TABLE products(id NUMBER, title VARCHAR2)`,
+	} {
+		if _, err := s.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
+	}
+	titles := []string{
+		"industrial vacuum cleaner", "robot vacuum with dock", "vacuum flask 1l",
+		"espresso machine", "machine learning handbook", "hand vacuum pump",
+		"washing machine", "sewing machine oil",
+	}
+	for i, title := range titles {
+		if _, err := s.Exec(`INSERT INTO products VALUES (?, ?)`,
+			extdb.Int(int64(i+1)), extdb.Str(title)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// End-user steps (§2.3): create the domain index, then just use the
+	// operator in SQL.
+	if _, err := s.Exec(`CREATE INDEX title_trgm ON products(title) INDEXTYPE IS TrigramIndexType`); err != nil {
+		log.Fatal(err)
+	}
+	s.SetForcedPath(extdb.ForceDomainScan)
+	rs, err := s.Query(`SELECT id, title FROM products WHERE MatchesSub(title, 'vacuum') ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products matching 'vacuum':")
+	for _, r := range rs.Rows {
+		fmt.Printf("  #%s %s\n", r[0], r[1])
+	}
+	rs, err = s.Query(`SELECT id, title FROM products WHERE MatchesSub(title, 'machine') ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products matching 'machine':")
+	for _, r := range rs.Rows {
+		fmt.Printf("  #%s %s\n", r[0], r[1])
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart walks through the paper's running example: the Employees
+// table, a TextIndexType domain index on the resume column, and queries
+// with the user-defined Contains operator — exercised through the public
+// extdb API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	extdb "repro"
+)
+
+func main() {
+	db, err := extdb.Open(extdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+
+	// Install the text cartridge: registers TextIndexMethods and issues
+	// CREATE OPERATOR Contains / CREATE INDEXTYPE TextIndexType.
+	if err := extdb.InstallTextCartridge(db, s); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(sql string, params ...extdb.Value) {
+		if _, err := s.Exec(sql, params...); err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+	}
+	run(`CREATE TABLE Employees(name VARCHAR(128), id INTEGER, resume VARCHAR2(1024))`)
+	run(`INSERT INTO Employees VALUES ('alice', 1, 'Ten years of Oracle and UNIX administration')`)
+	run(`INSERT INTO Employees VALUES ('bob',   2, 'UNIX kernel development, device drivers')`)
+	run(`INSERT INTO Employees VALUES ('carol', 3, 'Oracle DBA, PL/SQL, COBOL migration projects')`)
+	run(`INSERT INTO Employees VALUES ('dave',  4, 'Java and web frontends')`)
+
+	// Create the domain index exactly as in the paper, parameters and all.
+	run(`CREATE INDEX ResumeTextIndex ON Employees(resume)
+	     INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an of')`)
+
+	// The user-defined operator now works like any built-in operator.
+	query := `SELECT name FROM Employees WHERE Contains(resume, 'Oracle AND UNIX')`
+	rs, err := s.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q:", query)
+	for _, row := range rs.Rows {
+		fmt.Println("  ->", row[0])
+	}
+
+	// With four rows the cost-based optimizer rightly prefers a full
+	// scan; force the domain index (an optimizer hint) to show the
+	// pipelined ODCIIndexStart/Fetch/Close plan.
+	s.SetForcedPath(extdb.ForceDomainScan)
+	ex, err := s.Query(`EXPLAIN PLAN FOR ` + query)
+	s.SetForcedPath(extdb.ForceAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plan:")
+	for _, row := range ex.Rows {
+		fmt.Println("  ", row[0])
+	}
+
+	// DML maintains the index implicitly: ODCIIndexInsert/Update/Delete
+	// run inside the same transaction as the base-table change.
+	run(`UPDATE Employees SET resume = 'Retired from databases' WHERE name = 'carol'`)
+	rs, _ = s.Query(`SELECT name FROM Employees WHERE Contains(resume, 'oracle') ORDER BY name`)
+	fmt.Println("After update, 'oracle' matches:")
+	for _, row := range rs.Rows {
+		fmt.Println("  ->", row[0])
+	}
+
+	// Ancillary operators: Score(1) pairs with Contains(..., 1) and
+	// surfaces the match score computed by the index scan.
+	s.SetForcedPath(extdb.ForceDomainScan)
+	rs, err = s.Query(`SELECT name, Score(1) FROM Employees
+	                   WHERE Contains(resume, 'unix', 1) ORDER BY Score(1) DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Scored matches for 'unix':")
+	for _, row := range rs.Rows {
+		fmt.Printf("  -> %-6s score=%s\n", row[0], row[1])
+	}
+}

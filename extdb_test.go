@@ -1,0 +1,250 @@
+package extdb_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	extdb "repro"
+)
+
+// TestPaperWalkthrough runs the paper's running example end to end
+// through the public API only.
+func TestPaperWalkthrough(t *testing.T) {
+	db, err := extdb.Open(extdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	if err := extdb.InstallTextCartridge(db, s); err != nil {
+		t.Fatal(err)
+	}
+
+	stmts := []string{
+		`CREATE TABLE Employees(name VARCHAR(128), id INTEGER, resume VARCHAR2(1024))`,
+		`INSERT INTO Employees VALUES ('alice', 1, 'Oracle and UNIX expert')`,
+		`INSERT INTO Employees VALUES ('bob', 2, 'UNIX kernel hacker')`,
+		`CREATE INDEX ResumeTextIndex ON Employees(resume)
+		 INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an')`,
+	}
+	for _, q := range stmts {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	rs, err := s.Query(`SELECT name FROM Employees WHERE Contains(resume, 'Oracle AND UNIX')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text() != "alice" {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	// ALTER INDEX PARAMETERS from the paper.
+	if _, err := s.Exec(`ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore COBOL')`); err != nil {
+		t.Fatal(err)
+	}
+	// The two-step baseline helper agrees with the pipelined query.
+	two, err := extdb.TextTwoStepQuery(db.NewSession(), "Employees", "resume", "ResumeTextIndex", "unix", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("two-step rows = %d", len(two))
+	}
+}
+
+// TestAllCartridgesCoexist installs all four cartridges in one database
+// and runs a query through each.
+func TestAllCartridgesCoexist(t *testing.T) {
+	db, err := extdb.Open(extdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	for _, install := range []func(*extdb.DB, *extdb.Session) error{
+		extdb.InstallTextCartridge, extdb.InstallSpatialCartridge,
+		extdb.InstallVIRCartridge, extdb.InstallChemCartridge,
+	} {
+		if err := install(db, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Text.
+	if _, err := s.Exec(`CREATE TABLE notes(body VARCHAR2)`); err != nil {
+		t.Fatal(err)
+	}
+	s.Exec(`INSERT INTO notes VALUES ('extensible indexing works')`)
+	s.Exec(`CREATE INDEX notes_t ON notes(body) INDEXTYPE IS TextIndexType`)
+	rs, err := s.Query(`SELECT COUNT(*) FROM notes WHERE Contains(body, 'indexing')`)
+	if err != nil || rs.Rows[0][0].Int64() != 1 {
+		t.Fatalf("text: %v %v", rs, err)
+	}
+
+	// Spatial.
+	s.Exec(`CREATE TABLE zones(gid NUMBER, geometry SDO_GEOMETRY)`)
+	s.Exec(`INSERT INTO zones VALUES (1, ?)`, extdb.SpatialRect(10, 10, 20, 20).ToValue())
+	s.Exec(`CREATE INDEX zones_s ON zones(geometry) INDEXTYPE IS SpatialIndexType`)
+	rs, err = s.Query(`SELECT COUNT(*) FROM zones WHERE Sdo_Relate(geometry, ?, 'mask=ANYINTERACT')`,
+		extdb.SpatialRect(15, 15, 25, 25).ToValue())
+	if err != nil || rs.Rows[0][0].Int64() != 1 {
+		t.Fatalf("spatial: %v %v", rs, err)
+	}
+
+	// VIR.
+	s.Exec(`CREATE TABLE pics(id NUMBER, sig VIR_SIGNATURE)`)
+	var sig extdb.Signature
+	for i := range sig {
+		sig[i] = float64(i)
+	}
+	s.Exec(`INSERT INTO pics VALUES (1, ?)`, sig.ToValue())
+	s.Exec(`CREATE INDEX pics_v ON pics(sig) INDEXTYPE IS VIRIndexType`)
+	rs, err = s.Query(`SELECT COUNT(*) FROM pics WHERE VIRSimilar(sig, ?, 'globalcolor=1', 0.5)`, sig.ToValue())
+	if err != nil || rs.Rows[0][0].Int64() != 1 {
+		t.Fatalf("vir: %v %v", rs, err)
+	}
+
+	// Chem.
+	s.Exec(`CREATE TABLE mols(id NUMBER, m VARCHAR2)`)
+	s.Exec(`INSERT INTO mols VALUES (1, 'CCO')`)
+	s.Exec(`CREATE INDEX mols_c ON mols(m) INDEXTYPE IS ChemIndexType`)
+	rs, err = s.Query(`SELECT COUNT(*) FROM mols WHERE ChemExact(m, 'OCC')`)
+	if err != nil || rs.Rows[0][0].Int64() != 1 {
+		t.Fatalf("chem: %v %v", rs, err)
+	}
+}
+
+// countingMethods is a minimal custom indextype defined purely through
+// the public API: it verifies the framework surface area a third-party
+// cartridge developer uses.
+type countingMethods struct {
+	created, inserts, deletes, scans int
+}
+
+func (m *countingMethods) Create(s extdb.Server, info extdb.IndexInfo) error {
+	m.created++
+	_, err := s.Exec(fmt.Sprintf(`CREATE TABLE %s(v VARCHAR2, rid NUMBER)`, info.DataTableName("X")))
+	if err != nil {
+		return err
+	}
+	rows, err := s.Query(fmt.Sprintf(`SELECT %s, ROWID FROM %s`, info.ColumnName, info.TableName))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := m.Insert(s, info, r[1].Int64(), r[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (m *countingMethods) Alter(s extdb.Server, info extdb.IndexInfo, p string) error { return nil }
+func (m *countingMethods) Truncate(s extdb.Server, info extdb.IndexInfo) error        { return nil }
+func (m *countingMethods) Drop(s extdb.Server, info extdb.IndexInfo) error {
+	_, err := s.Exec(fmt.Sprintf(`DROP TABLE %s`, info.DataTableName("X")))
+	return err
+}
+func (m *countingMethods) Insert(s extdb.Server, info extdb.IndexInfo, rid int64, v extdb.Value) error {
+	m.inserts++
+	_, err := s.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (?, ?)`, info.DataTableName("X")), v, extdb.Int(rid))
+	return err
+}
+func (m *countingMethods) Delete(s extdb.Server, info extdb.IndexInfo, rid int64, v extdb.Value) error {
+	m.deletes++
+	_, err := s.Exec(fmt.Sprintf(`DELETE FROM %s WHERE rid = ?`, info.DataTableName("X")), extdb.Int(rid))
+	return err
+}
+func (m *countingMethods) Update(s extdb.Server, info extdb.IndexInfo, rid int64, o, n extdb.Value) error {
+	if err := m.Delete(s, info, rid, o); err != nil {
+		return err
+	}
+	return m.Insert(s, info, rid, n)
+}
+func (m *countingMethods) Start(s extdb.Server, info extdb.IndexInfo, call extdb.OperatorCall) (extdb.ScanState, error) {
+	m.scans++
+	rows, err := s.Query(fmt.Sprintf(`SELECT rid FROM %s WHERE v = ?`, info.DataTableName("X")), call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	rids := make([]int64, len(rows))
+	for i, r := range rows {
+		rids[i] = r[0].Int64()
+	}
+	return extdb.StateValue{V: rids}, nil
+}
+func (m *countingMethods) Fetch(s extdb.Server, st extdb.ScanState, maxRows int) (extdb.FetchResult, extdb.ScanState, error) {
+	rids := st.(extdb.StateValue).V.([]int64)
+	return extdb.FetchResult{RIDs: rids, Done: true}, st, nil
+}
+func (m *countingMethods) Close(s extdb.Server, st extdb.ScanState) error { return nil }
+
+func TestCustomIndextypeViaPublicAPI(t *testing.T) {
+	db, err := extdb.Open(extdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+
+	m := &countingMethods{}
+	if err := db.Registry().RegisterMethods("CountingMethods", m); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Registry().RegisterFunction("EqFn", func(args []extdb.Value) (extdb.Value, error) {
+		if len(args) == 2 && args[0].Text() == args[1].Text() {
+			return extdb.Num(1), nil
+		}
+		return extdb.Num(0), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`CREATE OPERATOR StrEq BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING EqFn`,
+		`CREATE INDEXTYPE CountingType FOR StrEq(VARCHAR2, VARCHAR2) USING CountingMethods`,
+		`CREATE TABLE items(v VARCHAR2)`,
+		`INSERT INTO items VALUES ('x'), ('y'), ('x')`,
+		`CREATE INDEX items_idx ON items(v) INDEXTYPE IS CountingType`,
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	s.SetForcedPath(extdb.ForceDomainScan)
+	rs, err := s.Query(`SELECT COUNT(*) FROM items WHERE StrEq(v, 'x')`)
+	if err != nil || rs.Rows[0][0].Int64() != 2 {
+		t.Fatalf("query: %v %v", rs, err)
+	}
+	s.SetForcedPath(extdb.ForceAuto)
+	if _, err := s.Exec(`UPDATE items SET v = 'z' WHERE v = 'y'`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`DELETE FROM items WHERE v = 'z'`); err != nil {
+		t.Fatal(err)
+	}
+	if m.created != 1 || m.inserts != 3+1 || m.deletes != 1+1 || m.scans != 1 {
+		t.Errorf("callback counts: %+v", m)
+	}
+	if _, err := s.Exec(`DROP INDEX items_idx`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if !extdb.Null().IsNull() || extdb.Int(3).Int64() != 3 || extdb.Str("s").Text() != "s" {
+		t.Error("value constructors broken")
+	}
+	if !extdb.Bool(true).Truth() || extdb.Num(1.5).Float() != 1.5 {
+		t.Error("value constructors broken")
+	}
+	arr := extdb.Arr(extdb.Int(1), extdb.Int(2))
+	if len(arr.Elems()) != 2 {
+		t.Error("Arr broken")
+	}
+	obj := extdb.Obj("T", extdb.Int(1))
+	if obj.Object() == nil || !strings.EqualFold(obj.Object().TypeName, "T") {
+		t.Error("Obj broken")
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cartridge/spatial"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// A1CallbacksVsDirect is the ablation of the paper's central design
+// choice (§2.5, §4): storing index data inside the database and
+// manipulating it through SQL server callbacks (the tile indextype)
+// versus accessing an index structure directly (the external R-tree
+// indextype, which is the [Sto86]-style low-level approach). Callbacks
+// cost per-operation SQL work but buy transactions, locking and
+// buffering; the paper acknowledges "using SQL, as opposed to low-level
+// interfaces, can cause performance degradation" — this measures how
+// much, in this engine.
+func A1CallbacksVsDirect(cfg Config) Table {
+	n := cfg.pick(400, 2000)
+	t := Table{
+		ID:         "A1",
+		Title:      "ablation: SQL-callback index store vs direct in-memory structure",
+		PaperClaim: "SQL callbacks can cost performance vs low-level access, mitigated by batching; in exchange index data gets transactions/locking/buffering for free (§2.5, §4)",
+		Headers:    []string{"indextype", "store", "build", "insert/row", "window query", "rollback-safe"},
+	}
+	for _, mode := range []struct {
+		name, itype, store, rollback string
+	}{
+		{"SpatialIndexType", "SpatialIndexType", "engine tables via SQL callbacks", "automatic"},
+		{"SpatialRTreeType", "SpatialRTreeType", "in-process R-tree (direct)", "only with :Events"},
+	} {
+		db, s := newDB()
+		must(spatial.Register(db))
+		must(spatial.Setup(s))
+		must1(s.Exec(`CREATE TABLE sites(gid NUMBER, geometry SDO_GEOMETRY)`))
+		rng := rand.New(rand.NewSource(23))
+		geoms := make([]types.Value, n)
+		for i := range geoms {
+			x, y := rng.Float64()*960, rng.Float64()*960
+			geoms[i] = spatial.NewRect(x, y, x+rng.Float64()*30, y+rng.Float64()*30).ToValue()
+		}
+		// Bulk-load half before CREATE INDEX, half after (measuring the
+		// per-row implicit maintenance).
+		for i := 0; i < n/2; i++ {
+			must1(s.Exec(`INSERT INTO sites VALUES (?, ?)`, types.Int(int64(i)), geoms[i]))
+		}
+		buildTime := timed(func() {
+			must1(s.Exec(fmt.Sprintf(`CREATE INDEX sites_idx ON sites(geometry) INDEXTYPE IS %s`, mode.itype)))
+		})
+		insTime := timed(func() {
+			for i := n / 2; i < n; i++ {
+				must1(s.Exec(`INSERT INTO sites VALUES (?, ?)`, types.Int(int64(i)), geoms[i]))
+			}
+		})
+		window := spatial.NewRect(100, 100, 400, 400)
+		s.SetForcedPath(engine.ForceDomainScan)
+		// Warm.
+		must1(s.Query(`SELECT gid FROM sites WHERE Sdo_Relate(geometry, ?, 'mask=ANYINTERACT')`, window.ToValue()))
+		qTime := timed(func() {
+			for k := 0; k < 10; k++ {
+				must1(s.Query(`SELECT gid FROM sites WHERE Sdo_Relate(geometry, ?, 'mask=ANYINTERACT')`, window.ToValue()))
+			}
+		})
+		s.SetForcedPath(engine.ForceAuto)
+		t.Rows = append(t.Rows, []string{
+			mode.name, mode.store, ms(buildTime),
+			fmt.Sprintf("%.1fµs", float64(insTime.Microseconds())/float64(n/2)),
+			ms(qTime / 10), mode.rollback,
+		})
+		db.Close()
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+// Package bench is the experiment harness: one function per experiment
+// of EXPERIMENTS.md (E1–E10), each building its own database, running the
+// paper's comparison, and returning a printable table. The root
+// bench_test.go wraps these as testing.B benchmarks; cmd/benchrunner
+// prints the full sweep.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks data sizes so the whole suite runs in seconds
+	// (used by `go test -bench`); the full sweep runs via cmd/benchrunner.
+	Quick bool
+}
+
+func (c Config) pick(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Headers    []string
+	Rows       [][]string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := fmt.Sprintf("%s — %s\n", t.ID, t.Title)
+	out += fmt.Sprintf("paper: %s\n", t.PaperClaim)
+	line := ""
+	for i, h := range t.Headers {
+		line += fmt.Sprintf("%-*s  ", widths[i], h)
+	}
+	out += line + "\n"
+	for _, r := range t.Rows {
+		line = ""
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += fmt.Sprintf("%-*s  ", w, c)
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1IndexVsFunctional(cfg),
+		E2TextPre8iVs8i(cfg),
+		E3SpatialTileJoinVsOperator(cfg),
+		E4VIRPhases(cfg),
+		E5ChemFileVsLOB(cfg),
+		E6OptimizerChoice(cfg),
+		E7ScanContext(cfg),
+		E8BatchFetch(cfg),
+		E9MaintenanceOverhead(cfg),
+		E10CollectionIndex(cfg),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+func newDB() (*engine.DB, *engine.Session) {
+	db := must1(engine.Open(engine.Options{}))
+	return db, db.NewSession()
+}
+
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentSmoke runs the two cheapest experiments in quick mode and
+// checks the tables are well-formed; the full matrix runs from the root
+// bench_test.go and cmd/benchrunner.
+func TestExperimentSmoke(t *testing.T) {
+	cfg := Config{Quick: true}
+	for _, f := range []func(Config) Table{E5ChemFileVsLOB, A1CallbacksVsDirect} {
+		tab := f(cfg)
+		if tab.ID == "" || tab.Title == "" || tab.PaperClaim == "" {
+			t.Errorf("table metadata incomplete: %+v", tab)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+		for _, r := range tab.Rows {
+			if len(r) != len(tab.Headers) {
+				t.Errorf("%s: row width %d != headers %d", tab.ID, len(r), len(tab.Headers))
+			}
+		}
+		out := tab.Format()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Headers[0]) {
+			t.Errorf("%s: Format output incomplete:\n%s", tab.ID, out)
+		}
+	}
+}
+
+func TestConfigPick(t *testing.T) {
+	if (Config{Quick: true}).pick(1, 2) != 1 || (Config{}).pick(1, 2) != 2 {
+		t.Error("Config.pick wrong")
+	}
+}

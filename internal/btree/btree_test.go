@@ -1,0 +1,386 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTree(t testing.TB) *BTree {
+	t.Helper()
+	p := storage.NewPager(storage.NewMemBackend(), 256)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTree(t)
+	if _, ok, err := tr.Get([]byte("missing")); ok || err != nil {
+		t.Fatalf("Get on empty tree = %v, %v", ok, err)
+	}
+	it := tr.Seek(nil)
+	if it.Valid() {
+		t.Error("iterator valid on empty tree")
+	}
+	if n, _ := tr.Count(); n != 0 {
+		t.Errorf("Count = %d", n)
+	}
+	if h, _ := tr.Height(); h != 1 {
+		t.Errorf("Height = %d", h)
+	}
+}
+
+func TestSetGetOverwrite(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Set([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Set([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if n, _ := tr.Count(); n != 1 {
+		t.Errorf("Count after overwrite = %d", n)
+	}
+}
+
+func TestLargeSequentialInsertAndScan(t *testing.T) {
+	tr := newTree(t)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		if err := tr.Set(key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := tr.Height(); h < 2 {
+		t.Error("tree did not grow in height")
+	}
+	// Point lookups.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		v, ok, err := tr.Get([]byte(fmt.Sprintf("key-%08d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%d) = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	// Full ordered scan.
+	i := 0
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		want := fmt.Sprintf("key-%08d", i)
+		if string(it.Key()) != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, it.Key(), want)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scan yielded %d entries, want %d", i, n)
+	}
+}
+
+func TestReverseAndRandomInsertOrder(t *testing.T) {
+	for name, order := range map[string]func(n int) []int{
+		"reverse": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = n - 1 - i
+			}
+			return xs
+		},
+		"random": func(n int) []int {
+			xs := rand.New(rand.NewSource(42)).Perm(n)
+			return xs
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := newTree(t)
+			const n = 5000
+			for _, i := range order(n) {
+				if err := tr.Set([]byte(fmt.Sprintf("%06d", i)), []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			for it := tr.Seek(nil); it.Valid(); it.Next() {
+				if string(it.Key()) != fmt.Sprintf("%06d", i) {
+					t.Fatalf("scan[%d] = %q", i, it.Key())
+				}
+				i++
+			}
+			if i != n {
+				t.Fatalf("scan yielded %d", i)
+			}
+		})
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	tr := newTree(t)
+	for _, k := range []string{"b", "d", "f", "h"} {
+		tr.Set([]byte(k), []byte(k))
+	}
+	cases := []struct {
+		seek string
+		want string
+	}{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"h", "h"}, {"i", ""},
+	}
+	for _, c := range cases {
+		it := tr.Seek([]byte(c.seek))
+		if c.want == "" {
+			if it.Valid() {
+				t.Errorf("Seek(%q) valid at %q, want exhausted", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Errorf("Seek(%q) at %q, want %q", c.seek, it.Key(), c.want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Set([]byte(fmt.Sprintf("%06d", i)), []byte("v"))
+	}
+	// Delete evens.
+	for i := 0; i < n; i += 2 {
+		ok, err := tr.Delete([]byte(fmt.Sprintf("%06d", i)))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete([]byte("nonexistent")); ok {
+		t.Error("Delete of missing key reported true")
+	}
+	cnt, _ := tr.Count()
+	if cnt != n/2 {
+		t.Fatalf("Count = %d, want %d", cnt, n/2)
+	}
+	i := 1
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		if string(it.Key()) != fmt.Sprintf("%06d", i) {
+			t.Fatalf("after delete, scan saw %q want %06d", it.Key(), i)
+		}
+		i += 2
+	}
+	// Reinsert into the holes (exercises empty-leaf reuse).
+	for i := 0; i < n; i += 2 {
+		if err := tr.Set([]byte(fmt.Sprintf("%06d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cnt, _ = tr.Count()
+	if cnt != n {
+		t.Fatalf("Count after reinsert = %d", cnt)
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 2000; i++ {
+		tr.Set([]byte(fmt.Sprintf("%06d", i)), bytes.Repeat([]byte("v"), 50))
+	}
+	for i := 0; i < 2000; i++ {
+		tr.Delete([]byte(fmt.Sprintf("%06d", i)))
+	}
+	if n, _ := tr.Count(); n != 0 {
+		t.Fatalf("Count = %d after deleting all", n)
+	}
+	it := tr.Seek(nil)
+	if it.Valid() {
+		t.Error("iterator valid after deleting all")
+	}
+	tr.Set([]byte("hello"), []byte("again"))
+	v, ok, _ := tr.Get([]byte("hello"))
+	if !ok || string(v) != "again" {
+		t.Error("tree unusable after full deletion")
+	}
+}
+
+func TestVariableSizeEntries(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(1))
+	model := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		k := make([]byte, 1+rng.Intn(200))
+		rng.Read(k)
+		v := make([]byte, rng.Intn(1000))
+		rng.Read(v)
+		if err := tr.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+		model[string(k)] = string(v)
+	}
+	for k, v := range model {
+		got, ok, err := tr.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get mismatch for %d-byte key", len(k))
+		}
+	}
+	cnt, _ := tr.Count()
+	if cnt != len(model) {
+		t.Fatalf("Count = %d, want %d", cnt, len(model))
+	}
+}
+
+func TestRejectsOversizeEntry(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Set(make([]byte, MaxEntrySize), make([]byte, MaxEntrySize)); err == nil {
+		t.Error("oversize entry accepted")
+	}
+}
+
+func TestOpenReattach(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 256)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tr.Set([]byte(fmt.Sprintf("%06d", i)), []byte("v"))
+	}
+	tr2, err := Open(p, tr.MetaPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr2.Get([]byte("004999"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("reopened Get = %q, %v, %v", v, ok, err)
+	}
+	cnt, _ := tr2.Count()
+	if cnt != 5000 {
+		t.Fatalf("reopened Count = %d", cnt)
+	}
+}
+
+// TestRandomizedModel interleaves inserts, overwrites, deletes and range
+// scans against a sorted-map reference.
+func TestRandomizedModel(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(99))
+	model := map[string]string{}
+	randKey := func() []byte {
+		return []byte(fmt.Sprintf("%05d", rng.Intn(3000)))
+	}
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // set
+			k := randKey()
+			v := fmt.Sprintf("v%d", step)
+			if err := tr.Set(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = v
+		case 6, 7: // delete
+			k := randKey()
+			ok, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, inModel := model[string(k)]
+			if ok != inModel {
+				t.Fatalf("step %d: Delete(%s) = %v, model has %v", step, k, ok, inModel)
+			}
+			delete(model, string(k))
+		case 8: // get
+			k := randKey()
+			v, ok, err := tr.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, inModel := model[string(k)]
+			if ok != inModel || (ok && string(v) != want) {
+				t.Fatalf("step %d: Get(%s) = %q,%v; model %q,%v", step, k, v, ok, want, inModel)
+			}
+		case 9: // bounded range scan
+			start := randKey()
+			var wantKeys []string
+			for k := range model {
+				if k >= string(start) {
+					wantKeys = append(wantKeys, k)
+				}
+			}
+			sort.Strings(wantKeys)
+			if len(wantKeys) > 20 {
+				wantKeys = wantKeys[:20]
+			}
+			it := tr.Seek(start)
+			for i := 0; i < len(wantKeys); i++ {
+				if !it.Valid() {
+					t.Fatalf("step %d: scan exhausted at %d, want %d", step, i, len(wantKeys))
+				}
+				if string(it.Key()) != wantKeys[i] {
+					t.Fatalf("step %d: scan[%d] = %q, want %q", step, i, it.Key(), wantKeys[i])
+				}
+				if string(it.Value()) != model[wantKeys[i]] {
+					t.Fatalf("step %d: scan[%d] value mismatch", step, i)
+				}
+				it.Next()
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBTreeSet(b *testing.B) {
+	p := storage.NewPager(storage.NewMemBackend(), 4096)
+	tr, _ := Create(p)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set([]byte(fmt.Sprintf("%010d", i)), []byte("value"))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	p := storage.NewPager(storage.NewMemBackend(), 4096)
+	tr, _ := Create(p)
+	for i := 0; i < 100000; i++ {
+		tr.Set([]byte(fmt.Sprintf("%010d", i)), []byte("value"))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := tr.Get([]byte(fmt.Sprintf("%010d", i%100000))); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 1024)
+	tr, _ := Create(p)
+	for i := 0; i < 10000; i++ {
+		tr.Set([]byte(fmt.Sprintf("%08d", i)), []byte("v"))
+	}
+	before := p.Stats().Allocs
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	// A new tree of the same size must reuse the freed pages rather than
+	// allocating fresh ones from the backend.
+	tr2, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		tr2.Set([]byte(fmt.Sprintf("%08d", i)), []byte("v"))
+	}
+	if n, _ := tr2.Count(); n != 10000 {
+		t.Fatalf("rebuilt count = %d", n)
+	}
+	_ = before
+}

@@ -1,0 +1,66 @@
+package chem
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Generator produces random molecules in the supported notation subset,
+// standing in for the proprietary compound collections Daylight indexes
+// (substitution documented in DESIGN.md: the experiments depend on store
+// behaviour and fingerprint statistics, not on real chemistry).
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a deterministic molecule generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var chainAtoms = []string{"C", "C", "C", "N", "O", "S"}
+
+// Next returns a random molecule string with chains, branches, double
+// bonds and occasional aromatic rings.
+func (g *Generator) Next() string {
+	var sb strings.Builder
+	g.fragment(&sb, 4+g.rng.Intn(8), 0)
+	return sb.String()
+}
+
+func (g *Generator) fragment(sb *strings.Builder, length, depth int) {
+	for i := 0; i < length; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.12 && depth < 2:
+			sb.WriteString("c1ccccc1") // benzene unit
+		case r < 0.20 && i > 0:
+			sb.WriteByte('=')
+			sb.WriteString(chainAtoms[g.rng.Intn(len(chainAtoms))])
+		case r < 0.30 && i > 0 && depth < 3:
+			sb.WriteByte('(')
+			g.fragment(sb, 1+g.rng.Intn(3), depth+1)
+			sb.WriteByte(')')
+		case r < 0.34:
+			sb.WriteString("Cl")
+		default:
+			sb.WriteString(chainAtoms[g.rng.Intn(len(chainAtoms))])
+		}
+	}
+	// Fragments must contain at least one atom.
+	if sb.Len() == 0 {
+		sb.WriteByte('C')
+	}
+}
+
+// WithSubstructure returns a molecule guaranteed to contain the given
+// fragment (the fragment is embedded verbatim as a branch).
+func (g *Generator) WithSubstructure(fragment string) string {
+	var sb strings.Builder
+	g.fragment(&sb, 2+g.rng.Intn(4), 1)
+	sb.WriteByte('(')
+	sb.WriteString(fragment)
+	sb.WriteByte(')')
+	g.fragment(&sb, 1+g.rng.Intn(3), 1)
+	return sb.String()
+}

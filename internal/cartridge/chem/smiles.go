@@ -1,0 +1,476 @@
+// Package chem implements the Daylight chemistry cartridge of §3.2.4:
+// molecules in a SMILES-like linear notation, canonicalization and
+// tautomer keys, Daylight-style path fingerprints, substructure search
+// (fingerprint screen + subgraph-isomorphism verification), Tanimoto
+// similarity and nearest-neighbor selection. The index is a packed
+// record store behind the loblib.Store interface, so the same code runs
+// against operating-system files (the pre-migration Daylight design) and
+// against database LOBs with a file-like interface (the migration the
+// paper describes, which needed "minimal changes to the index management
+// software").
+package chem
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// BondOrder encodes bond types; aromatic bonds get their own code.
+type BondOrder uint8
+
+// Bond orders.
+const (
+	BondSingle   BondOrder = 1
+	BondDouble   BondOrder = 2
+	BondTriple   BondOrder = 3
+	BondAromatic BondOrder = 4
+)
+
+// Atom is one atom of a molecule.
+type Atom struct {
+	Elem     string
+	Aromatic bool
+}
+
+// Bond is one edge of the molecular graph.
+type Bond struct {
+	To    int
+	Order BondOrder
+}
+
+// Molecule is a molecular graph parsed from the linear notation.
+type Molecule struct {
+	Atoms []Atom
+	Adj   [][]Bond
+	src   string
+}
+
+// String returns the original notation.
+func (m *Molecule) String() string { return m.src }
+
+// NumAtoms returns the atom count.
+func (m *Molecule) NumAtoms() int { return len(m.Atoms) }
+
+func (m *Molecule) addAtom(a Atom) int {
+	m.Atoms = append(m.Atoms, a)
+	m.Adj = append(m.Adj, nil)
+	return len(m.Atoms) - 1
+}
+
+func (m *Molecule) addBond(a, b int, o BondOrder) {
+	m.Adj[a] = append(m.Adj[a], Bond{To: b, Order: o})
+	m.Adj[b] = append(m.Adj[b], Bond{To: a, Order: o})
+}
+
+// twoLetter lists recognized two-character element symbols.
+var twoLetter = map[string]bool{"Cl": true, "Br": true, "Si": true, "Se": true}
+
+// organic lists recognized single-character elements (uppercase) of the
+// subset.
+var organic = map[byte]bool{'C': true, 'N': true, 'O': true, 'S': true, 'P': true,
+	'F': true, 'I': true, 'B': true, 'H': true}
+
+// aromaticChars lists lowercase aromatic atoms.
+var aromaticChars = map[byte]bool{'c': true, 'n': true, 'o': true, 's': true, 'p': true}
+
+// Parse parses the SMILES subset: organic-set atoms, aromatic lowercase
+// atoms, - = # bonds, branches in parentheses, and single-digit ring
+// closures.
+func Parse(s string) (*Molecule, error) {
+	m := &Molecule{src: s}
+	var stack []int
+	prev := -1
+	pending := BondOrder(0)
+	rings := map[byte]struct {
+		atom  int
+		order BondOrder
+	}{}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '(':
+			if prev < 0 {
+				return nil, fmt.Errorf("chem: branch before any atom in %q", s)
+			}
+			stack = append(stack, prev)
+			i++
+		case c == ')':
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("chem: unmatched ')' in %q", s)
+			}
+			prev = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			i++
+		case c == '-':
+			pending = BondSingle
+			i++
+		case c == '=':
+			pending = BondDouble
+			i++
+		case c == '#':
+			pending = BondTriple
+			i++
+		case c >= '1' && c <= '9':
+			if prev < 0 {
+				return nil, fmt.Errorf("chem: ring closure before any atom in %q", s)
+			}
+			if open, ok := rings[c]; ok {
+				order := pending
+				if order == 0 {
+					order = open.order
+				}
+				if order == 0 {
+					order = BondSingle
+					if m.Atoms[prev].Aromatic && m.Atoms[open.atom].Aromatic {
+						order = BondAromatic
+					}
+				}
+				m.addBond(open.atom, prev, order)
+				delete(rings, c)
+			} else {
+				rings[c] = struct {
+					atom  int
+					order BondOrder
+				}{atom: prev, order: pending}
+			}
+			pending = 0
+			i++
+		default:
+			var atom Atom
+			switch {
+			case i+1 < len(s) && twoLetter[s[i:i+2]]:
+				atom = Atom{Elem: s[i : i+2]}
+				i += 2
+			case organic[c]:
+				atom = Atom{Elem: string(c)}
+				i++
+			case aromaticChars[c]:
+				atom = Atom{Elem: strings.ToUpper(string(c)), Aromatic: true}
+				i++
+			default:
+				return nil, fmt.Errorf("chem: unexpected %q at offset %d of %q", c, i, s)
+			}
+			idx := m.addAtom(atom)
+			if prev >= 0 {
+				order := pending
+				if order == 0 {
+					order = BondSingle
+					if atom.Aromatic && m.Atoms[prev].Aromatic {
+						order = BondAromatic
+					}
+				}
+				m.addBond(prev, idx, order)
+			}
+			pending = 0
+			prev = idx
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("chem: unmatched '(' in %q", s)
+	}
+	if len(rings) != 0 {
+		return nil, fmt.Errorf("chem: unclosed ring bond in %q", s)
+	}
+	if pending != 0 {
+		return nil, fmt.Errorf("chem: dangling bond symbol at end of %q", s)
+	}
+	if len(m.Atoms) == 0 {
+		return nil, fmt.Errorf("chem: empty molecule %q", s)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Canonical and tautomer keys (Morgan extended-connectivity refinement)
+
+func hash64(parts ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// morganCodes iteratively refines per-atom codes; withOrders controls
+// whether bond orders participate (the tautomer key ignores them, so
+// structures differing only in proton/bond-order placement collapse to
+// the same key — a simplification of tautomer canonicalization).
+func (m *Molecule) morganCodes(withOrders bool) []uint64 {
+	n := len(m.Atoms)
+	codes := make([]uint64, n)
+	for i, a := range m.Atoms {
+		arom := uint64(0)
+		if a.Aromatic && withOrders {
+			arom = 1
+		}
+		codes[i] = hash64(hashString(a.Elem), arom, uint64(len(m.Adj[i])))
+	}
+	next := make([]uint64, n)
+	for round := 0; round < n+2; round++ {
+		for i := range codes {
+			neigh := make([]uint64, 0, len(m.Adj[i]))
+			for _, b := range m.Adj[i] {
+				o := uint64(1)
+				if withOrders {
+					o = uint64(b.Order)
+				}
+				neigh = append(neigh, hash64(codes[b.To], o))
+			}
+			sort.Slice(neigh, func(a, b int) bool { return neigh[a] < neigh[b] })
+			next[i] = hash64(append([]uint64{codes[i]}, neigh...)...)
+		}
+		codes, next = next, codes
+	}
+	return codes
+}
+
+// graphKey folds refined atom codes and edges into one 64-bit key.
+func (m *Molecule) graphKey(withOrders bool) uint64 {
+	codes := m.morganCodes(withOrders)
+	atomPart := append([]uint64(nil), codes...)
+	sort.Slice(atomPart, func(a, b int) bool { return atomPart[a] < atomPart[b] })
+	var edges []uint64
+	for i := range m.Adj {
+		for _, b := range m.Adj[i] {
+			if b.To < i {
+				continue
+			}
+			lo, hi := codes[i], codes[b.To]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			o := uint64(1)
+			if withOrders {
+				o = uint64(b.Order)
+			}
+			edges = append(edges, hash64(lo, hi, o))
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+	return hash64(append(atomPart, edges...)...)
+}
+
+// CanonicalKey identifies the full molecular structure (element, bond
+// orders and aromaticity included).
+func (m *Molecule) CanonicalKey() uint64 { return m.graphKey(true) }
+
+// TautomerKey identifies the molecular skeleton with bond orders and
+// aromaticity erased, so tautomers share a key.
+func (m *Molecule) TautomerKey() uint64 { return m.graphKey(false) }
+
+// ---------------------------------------------------------------------------
+// Path fingerprints
+
+// FPWords is the fingerprint size in 64-bit words (1024 bits, Daylight's
+// default width).
+const FPWords = 16
+
+// Fingerprint is a fixed-width bit vector of hashed atom paths.
+type Fingerprint [FPWords]uint64
+
+func (f *Fingerprint) set(h uint64) {
+	bit := h % (FPWords * 64)
+	f[bit/64] |= 1 << (bit % 64)
+}
+
+// Superset reports whether f covers all bits of g — the substructure
+// screening test: fp(query) ⊆ fp(molecule) is necessary for the query to
+// be a substructure.
+func (f Fingerprint) Superset(g Fingerprint) bool {
+	for i := range f {
+		if g[i]&^f[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tanimoto returns |f ∧ g| / |f ∨ g|, the Daylight similarity measure.
+func Tanimoto(f, g Fingerprint) float64 {
+	inter, union := 0, 0
+	for i := range f {
+		inter += bits.OnesCount64(f[i] & g[i])
+		union += bits.OnesCount64(f[i] | g[i])
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// maxPathLen bounds enumerated path length in atoms (Daylight uses 7).
+const maxPathLen = 7
+
+// ComputeFP enumerates all simple paths up to maxPathLen atoms and hashes
+// each into the fingerprint.
+func (m *Molecule) ComputeFP() Fingerprint {
+	var fp Fingerprint
+	n := len(m.Atoms)
+	visited := make([]bool, n)
+	var path []string
+	var walk func(at int)
+	walk = func(at int) {
+		fp.set(hashString(strings.Join(path, "")))
+		if len(path) >= maxPathLen*2-1 {
+			return
+		}
+		for _, b := range m.Adj[at] {
+			if visited[b.To] {
+				continue
+			}
+			visited[b.To] = true
+			path = append(path, fmt.Sprintf("%d", b.Order), m.atomCode(b.To))
+			walk(b.To)
+			path = path[:len(path)-2]
+			visited[b.To] = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		visited[i] = true
+		path = append(path[:0], m.atomCode(i))
+		walk(i)
+		visited[i] = false
+	}
+	return fp
+}
+
+func (m *Molecule) atomCode(i int) string {
+	if m.Atoms[i].Aromatic {
+		return strings.ToLower(m.Atoms[i].Elem)
+	}
+	return m.Atoms[i].Elem
+}
+
+// ---------------------------------------------------------------------------
+// Substructure verification (backtracking subgraph isomorphism)
+
+// IsSubstructure reports whether query occurs as a subgraph of m, with
+// matching elements, aromaticity and bond orders (extra bonds in m are
+// allowed).
+func IsSubstructure(query, m *Molecule) bool {
+	nq, nm := len(query.Atoms), len(m.Atoms)
+	if nq > nm {
+		return false
+	}
+	assign := make([]int, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make([]bool, nm)
+
+	// Order query atoms so each (after the first) touches an assigned one.
+	order := connectedOrder(query)
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == nq {
+			return true
+		}
+		qa := order[k]
+		// Candidates: neighbors of already-assigned query neighbors, or
+		// all atoms for the first.
+		var cands []int
+		restricted := false
+		for _, b := range query.Adj[qa] {
+			if assign[b.To] >= 0 {
+				restricted = true
+				for _, mb := range m.Adj[assign[b.To]] {
+					if mb.Order == b.Order {
+						cands = append(cands, mb.To)
+					}
+				}
+				break
+			}
+		}
+		if !restricted {
+			cands = make([]int, nm)
+			for i := range cands {
+				cands[i] = i
+			}
+		}
+		for _, ma := range cands {
+			if used[ma] || !atomCompatible(query.Atoms[qa], m.Atoms[ma]) {
+				continue
+			}
+			if !bondsCompatible(query, m, assign, qa, ma) {
+				continue
+			}
+			assign[qa] = ma
+			used[ma] = true
+			if try(k + 1) {
+				return true
+			}
+			assign[qa] = -1
+			used[ma] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+func atomCompatible(q, m Atom) bool {
+	return q.Elem == m.Elem && q.Aromatic == m.Aromatic
+}
+
+// bondsCompatible checks every query bond from qa to an assigned atom has
+// a matching bond in m.
+func bondsCompatible(query, m *Molecule, assign []int, qa, ma int) bool {
+	for _, qb := range query.Adj[qa] {
+		tm := assign[qb.To]
+		if tm < 0 {
+			continue
+		}
+		found := false
+		for _, mb := range m.Adj[ma] {
+			if mb.To == tm && mb.Order == qb.Order {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedOrder returns the query atoms in an order where each atom
+// (after its component's first) is adjacent to an earlier one.
+func connectedOrder(q *Molecule) []int {
+	n := len(q.Atoms)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			at := queue[0]
+			queue = queue[1:]
+			order = append(order, at)
+			for _, b := range q.Adj[at] {
+				if !seen[b.To] {
+					seen[b.To] = true
+					queue = append(queue, b.To)
+				}
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,244 @@
+// Package text implements the interMedia-Text-style cartridge of §3.2.1:
+// a full-text indexing scheme with a Contains operator, a Score ancillary
+// operator, a boolean keyword query language ('Oracle AND UNIX'), stop
+// lists and language parameters, and an inverted index stored in engine
+// tables maintained entirely through SQL server callbacks.
+//
+// The package also provides the pre-Oracle8i two-step execution model
+// (materialize matching rowids into a temporary result table, then join),
+// which the paper contrasts against the pipelined domain-index scan to
+// explain its up-to-10× speedups.
+package text
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Node is a parsed Contains query expression.
+type Node interface{ isNode() }
+
+// Term matches documents containing the token.
+type Term struct{ Token string }
+
+// And matches documents matching all children.
+type And struct{ Kids []Node }
+
+// Or matches documents matching any child.
+type Or struct{ Kids []Node }
+
+// Not inverts its child; only valid as a conjunct (a AND NOT b).
+type Not struct{ Kid Node }
+
+func (Term) isNode() {}
+func (And) isNode()  {}
+func (Or) isNode()   {}
+func (Not) isNode()  {}
+
+// ParseQuery parses the Contains query language:
+//
+//	expr := or
+//	or   := and (OR and)*
+//	and  := unary ((AND)? unary)*   -- juxtaposition means AND
+//	unary:= NOT unary | '(' expr ')' | word
+//
+// Keywords AND/OR/NOT are case-insensitive.
+func ParseQuery(q string, tz *Tokenizer) (Node, error) {
+	toks := lexQuery(q)
+	p := &qparser{toks: toks, tz: tz}
+	n, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("text: unexpected %q in query", p.toks[p.pos])
+	}
+	if n == nil {
+		return nil, fmt.Errorf("text: empty query")
+	}
+	return n, nil
+}
+
+func lexQuery(q string) []string {
+	var toks []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch {
+		case r == '(' || r == ')':
+			flush()
+			toks = append(toks, string(r))
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+type qparser struct {
+	toks []string
+	pos  int
+	tz   *Tokenizer
+}
+
+func (p *qparser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *qparser) or() (Node, error) {
+	first, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for strings.EqualFold(p.peek(), "OR") {
+		p.pos++
+		n, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return Or{Kids: kids}, nil
+}
+
+func (p *qparser) and() (Node, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Node{first}
+	for {
+		t := p.peek()
+		if strings.EqualFold(t, "AND") {
+			p.pos++
+			t = p.peek()
+		} else if t == "" || t == ")" || strings.EqualFold(t, "OR") {
+			break
+		}
+		n, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return And{Kids: kids}, nil
+}
+
+func (p *qparser) unary() (Node, error) {
+	t := p.peek()
+	switch {
+	case t == "":
+		return nil, fmt.Errorf("text: unexpected end of query")
+	case strings.EqualFold(t, "NOT"):
+		p.pos++
+		kid, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Kid: kid}, nil
+	case t == "(":
+		p.pos++
+		n, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("text: missing ')' in query")
+		}
+		p.pos++
+		return n, nil
+	case t == ")":
+		return nil, fmt.Errorf("text: unexpected ')' in query")
+	case strings.EqualFold(t, "AND") || strings.EqualFold(t, "OR"):
+		return nil, fmt.Errorf("text: %s needs operands", strings.ToUpper(t))
+	default:
+		p.pos++
+		norm := p.tz.Normalize(t)
+		if norm == "" {
+			return nil, fmt.Errorf("text: query term %q is a stop word or empty after normalization", t)
+		}
+		return Term{Token: norm}, nil
+	}
+}
+
+// EvalDoc evaluates the query against a tokenized document (token →
+// frequency), returning whether it matches and the match score (sum of
+// matched-term frequencies).
+func EvalDoc(n Node, tf map[string]int) (bool, float64) {
+	switch x := n.(type) {
+	case Term:
+		f := tf[x.Token]
+		return f > 0, float64(f)
+	case And:
+		total := 0.0
+		for _, k := range x.Kids {
+			ok, sc := EvalDoc(k, tf)
+			if !ok {
+				return false, 0
+			}
+			total += sc
+		}
+		return true, total
+	case Or:
+		total := 0.0
+		any := false
+		for _, k := range x.Kids {
+			ok, sc := EvalDoc(k, tf)
+			if ok {
+				any = true
+				total += sc
+			}
+		}
+		return any, total
+	case Not:
+		ok, _ := EvalDoc(x.Kid, tf)
+		return !ok, 0
+	}
+	return false, 0
+}
+
+// Terms returns the positive terms referenced by the query (used by the
+// selectivity estimator).
+func Terms(n Node) []string {
+	var out []string
+	var walk func(Node, bool)
+	walk = func(x Node, neg bool) {
+		switch v := x.(type) {
+		case Term:
+			if !neg {
+				out = append(out, v.Token)
+			}
+		case And:
+			for _, k := range v.Kids {
+				walk(k, neg)
+			}
+		case Or:
+			for _, k := range v.Kids {
+				walk(k, neg)
+			}
+		case Not:
+			walk(v.Kid, !neg)
+		}
+	}
+	walk(n, false)
+	return out
+}

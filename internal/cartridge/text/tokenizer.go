@@ -1,0 +1,138 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Params are the domain-index parameters parsed from the PARAMETERS
+// string of CREATE/ALTER INDEX, using the paper's syntax:
+//
+//	':Language English :Ignore the a an :Scan precompute :Memory value'
+//
+// Directives:
+//
+//	:Language <name>        lexical analyzer / stemmer selection
+//	:Ignore <w1> <w2> ...   stop words (ignored at index and query time)
+//	:Scan precompute|lazy   ODCIIndexStart strategy (§2.2.3)
+//	:Memory value|handle    scan-context transport (§2.2.3)
+type Params struct {
+	Language  string
+	StopWords map[string]bool
+	LazyScan  bool
+	UseHandle bool
+}
+
+// ParseParams parses a PARAMETERS string. Unknown directives are errors;
+// an empty string yields defaults (English, no stop words, precompute,
+// value transport).
+func ParseParams(s string) (Params, error) {
+	p := Params{Language: "english", StopWords: map[string]bool{}}
+	fields := strings.Fields(s)
+	i := 0
+	for i < len(fields) {
+		d := strings.ToLower(fields[i])
+		if !strings.HasPrefix(d, ":") {
+			return p, errBadDirective(fields[i])
+		}
+		i++
+		args := []string{}
+		for i < len(fields) && !strings.HasPrefix(fields[i], ":") {
+			args = append(args, fields[i])
+			i++
+		}
+		switch d {
+		case ":language":
+			if len(args) != 1 {
+				return p, errBadDirective(":Language wants one argument")
+			}
+			p.Language = strings.ToLower(args[0])
+		case ":ignore":
+			for _, w := range args {
+				p.StopWords[strings.ToLower(w)] = true
+			}
+		case ":scan":
+			if len(args) != 1 || (args[0] != "precompute" && args[0] != "lazy") {
+				return p, errBadDirective(":Scan wants precompute|lazy")
+			}
+			p.LazyScan = args[0] == "lazy"
+		case ":memory":
+			if len(args) != 1 || (args[0] != "value" && args[0] != "handle") {
+				return p, errBadDirective(":Memory wants value|handle")
+			}
+			p.UseHandle = args[0] == "handle"
+		default:
+			return p, errBadDirective(d)
+		}
+	}
+	return p, nil
+}
+
+type errBadDirective string
+
+func (e errBadDirective) Error() string { return "text: bad PARAMETERS directive: " + string(e) }
+
+// Tokenizer normalizes document text into index tokens: lowercasing,
+// splitting on non-alphanumerics, language-specific stemming, and stop
+// word removal.
+type Tokenizer struct {
+	params Params
+}
+
+// NewTokenizer builds a tokenizer for the given parameters.
+func NewTokenizer(p Params) *Tokenizer { return &Tokenizer{params: p} }
+
+// Normalize maps a raw token to its index form; "" means the token is
+// dropped (stop word or empty).
+func (t *Tokenizer) Normalize(raw string) string {
+	w := strings.ToLower(strings.TrimFunc(raw, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}))
+	if w == "" || t.params.StopWords[w] {
+		return ""
+	}
+	if t.params.Language == "english" {
+		w = stemEnglish(w)
+		if t.params.StopWords[w] {
+			return ""
+		}
+	}
+	return w
+}
+
+// stemEnglish is a deliberately small suffix stemmer (plural/gerund); the
+// point is that :Language selects a lexical analyzer, as in the paper's
+// example, not state-of-the-art stemming.
+func stemEnglish(w string) string {
+	switch {
+	case len(w) > 4 && strings.HasSuffix(w, "ies"):
+		return w[:len(w)-3] + "y"
+	case len(w) > 4 && strings.HasSuffix(w, "ing"):
+		return w[:len(w)-3]
+	case len(w) > 3 && strings.HasSuffix(w, "es"):
+		base := w[:len(w)-2]
+		// boxes → box, classes → class; databases → database (plain -s).
+		if strings.HasSuffix(base, "ss") || strings.HasSuffix(base, "x") ||
+			strings.HasSuffix(base, "z") || strings.HasSuffix(base, "ch") ||
+			strings.HasSuffix(base, "sh") {
+			return base
+		}
+		return w[:len(w)-1]
+	case len(w) > 3 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// TokenFreqs tokenizes a document into token → occurrence count.
+func (t *Tokenizer) TokenFreqs(doc string) map[string]int {
+	tf := make(map[string]int)
+	for _, raw := range strings.FieldsFunc(doc, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}) {
+		if w := t.Normalize(raw); w != "" {
+			tf[w]++
+		}
+	}
+	return tf
+}

@@ -1,0 +1,240 @@
+package vir
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func TestSignatureCodecs(t *testing.T) {
+	g := NewGenerator(1, 4)
+	sig := g.Next()
+	back, err := FromValue(sig.ToValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != sig {
+		t.Error("value round trip failed")
+	}
+	dec, err := Decode(sig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != sig {
+		t.Error("string round trip failed")
+	}
+	if _, err := FromValue(types.Num(1)); err == nil {
+		t.Error("non-object accepted")
+	}
+	if _, err := Decode("1 2 3"); err == nil {
+		t.Error("short string accepted")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("globalcolor=0.5, localcolor=0.0,texture=0.5,structure=0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.5 || w[1] != 0 || w[2] != 0.5 || w[3] != 0 {
+		t.Errorf("weights = %v", w)
+	}
+	if _, err := ParseWeights("hue=1"); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if _, err := ParseWeights("globalcolor=0,texture=0"); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := ParseWeights("globalcolor=-1"); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	g := NewGenerator(2, 3)
+	w := Weights{0.5, 0.2, 0.3, 0}
+	a, b := g.Next(), g.Next()
+	if Distance(a, a, w) != 0 {
+		t.Error("self-distance nonzero")
+	}
+	if Distance(a, b, w) != Distance(b, a, w) {
+		t.Error("distance not symmetric")
+	}
+	// The structure block has weight 0: changing it must not matter.
+	c := a
+	c[3*BlockDims] += 1000
+	if Distance(a, c, w) != 0 {
+		t.Error("zero-weight block affected distance")
+	}
+}
+
+func TestCoarseLowerBoundAdmissible(t *testing.T) {
+	g := NewGenerator(3, 5)
+	w := Weights{0.4, 0.3, 0.2, 0.1}
+	for i := 0; i < 500; i++ {
+		a, b := g.Next(), g.Next()
+		lb := CoarseLowerBound(a.Coarse(), b.Coarse(), w)
+		d := Distance(a, b, w)
+		if lb > d+1e-9 {
+			t.Fatalf("lower bound %v exceeds distance %v", lb, d)
+		}
+	}
+}
+
+func TestQuickPhase1Admissible(t *testing.T) {
+	g := NewGenerator(4, 4)
+	w := Weights{0.5, 0.5, 0, 0}
+	prop := func(seed uint8, thresholdRaw uint8) bool {
+		a := g.Next()
+		b := g.Next()
+		threshold := float64(thresholdRaw)/10 + 0.5
+		if Distance(a, b, w) <= threshold {
+			// A true match must survive phase 1: |c0 diff| <= radius.
+			r := Phase1Radius(threshold, w)
+			diff := a.Coarse()[0] - b.Coarse()[0]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > r+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newVIRDB(t testing.TB, n int) (*engine.DB, *engine.Session, *Methods, *Generator) {
+	t.Helper()
+	db, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	m, err := Register(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	if err := Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(fmt.Sprintf(`CREATE TABLE images(id NUMBER, sig %s)`, TypeName)); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(7, 6)
+	for i := 0; i < n; i++ {
+		if _, err := s.Exec(`INSERT INTO images VALUES (?, ?)`,
+			types.Int(int64(i)), g.Next().ToValue()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Exec(fmt.Sprintf(`CREATE INDEX img_idx ON images(sig) INDEXTYPE IS %s`, IndexTypeName)); err != nil {
+		t.Fatal(err)
+	}
+	return db, s, m, g
+}
+
+const weightStr = "globalcolor=0.5,localcolor=0.0,texture=0.5,structure=0.0"
+
+func TestSimilarEndToEnd(t *testing.T) {
+	_, s, m, g := newVIRDB(t, 400)
+	q := g.NearCenter(2)
+
+	s.SetForcedPath(engine.ForceDomainScan)
+	idx, err := s.Query(`SELECT id FROM images WHERE VIRSimilar(sig, ?, ?, 10) ORDER BY id`,
+		q.ToValue(), types.Str(weightStr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetForcedPath(engine.ForceFullScan)
+	full, err := s.Query(`SELECT id FROM images WHERE VIRSimilar(sig, ?, ?, 10) ORDER BY id`,
+		q.ToValue(), types.Str(weightStr))
+	s.SetForcedPath(engine.ForceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Rows) == 0 {
+		t.Fatal("no similar images found; generator broken")
+	}
+	if len(idx.Rows) != len(full.Rows) {
+		t.Fatalf("domain %d rows vs functional %d", len(idx.Rows), len(full.Rows))
+	}
+	for i := range idx.Rows {
+		if idx.Rows[i][0].Int64() != full.Rows[i][0].Int64() {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// The multi-level filter must actually prune: phase1 < table size,
+	// phase2 <= phase1, phase3 <= phase2.
+	pc := m.Phases()
+	if pc.Phase1 >= 400 {
+		t.Errorf("phase 1 did not prune: %+v", pc)
+	}
+	if pc.Phase2 > pc.Phase1 || pc.Phase3 > pc.Phase2 {
+		t.Errorf("phase counts not monotone: %+v", pc)
+	}
+	if pc.Phase3 != len(idx.Rows) {
+		t.Errorf("phase 3 count %d != result %d", pc.Phase3, len(idx.Rows))
+	}
+}
+
+func TestVIRScoreOrdering(t *testing.T) {
+	_, s, _, g := newVIRDB(t, 200)
+	q := g.NearCenter(1)
+	s.SetForcedPath(engine.ForceDomainScan)
+	defer s.SetForcedPath(engine.ForceAuto)
+	rs, err := s.Query(`SELECT id, VIRScore(1) FROM images WHERE VIRSimilar(sig, ?, ?, 12, 1) LIMIT 10`,
+		q.ToValue(), types.Str(weightStr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("no results")
+	}
+	prev := -1.0
+	for _, r := range rs.Rows {
+		d := r[1].Float()
+		if d < prev {
+			t.Errorf("results not in ascending distance order: %v after %v", d, prev)
+		}
+		if d > 12 {
+			t.Errorf("distance %v exceeds threshold", d)
+		}
+		prev = d
+	}
+}
+
+func TestVIRMaintenance(t *testing.T) {
+	_, s, _, g := newVIRDB(t, 100)
+	s.SetForcedPath(engine.ForceDomainScan)
+	defer s.SetForcedPath(engine.ForceAuto)
+	q := g.NearCenter(0)
+	count := func() int {
+		rs, err := s.Query(`SELECT id FROM images WHERE VIRSimilar(sig, ?, ?, 8)`,
+			q.ToValue(), types.Str(weightStr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rs.Rows)
+	}
+	before := count()
+	// Insert an exact duplicate of the query: must match (distance 0).
+	if _, err := s.Exec(`INSERT INTO images VALUES (9999, ?)`, q.ToValue()); err != nil {
+		t.Fatal(err)
+	}
+	if count() != before+1 {
+		t.Error("insert not reflected")
+	}
+	if _, err := s.Exec(`DELETE FROM images WHERE id = 9999`); err != nil {
+		t.Fatal(err)
+	}
+	if count() != before {
+		t.Error("delete not reflected")
+	}
+}

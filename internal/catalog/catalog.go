@@ -1,0 +1,477 @@
+// Package catalog is the engine's data dictionary: tables, columns,
+// indexes (built-in and domain), user-defined object types, operators and
+// indextypes. The paper adds two schema-object classes to the classical
+// dictionary — Operator and Indextype — and this package models both.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/btree"
+	"repro/internal/hashidx"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind types.Kind
+	// TypeName holds the object/array type name for OBJECT columns, or
+	// the raw SQL type name otherwise.
+	TypeName string
+}
+
+// Table is a base table: schema plus its heap storage and statistics.
+type Table struct {
+	Name     string
+	Cols     []Column
+	Heap     *storage.Heap
+	RowCount int // maintained by the engine; input to the optimizer
+	// Hidden marks engine-internal tables (index data tables create them
+	// via callbacks; they are real tables but excluded from listings).
+	Hidden bool
+}
+
+// ColIndex returns the position of the named column (case-insensitive),
+// or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexKind enumerates the index implementations.
+type IndexKind int
+
+// Index kinds.
+const (
+	BTreeIndex IndexKind = iota
+	HashIndex
+	BitmapIndex
+	DomainIndex
+)
+
+// String names the kind for plans and errors.
+func (k IndexKind) String() string {
+	switch k {
+	case BTreeIndex:
+		return "BTREE"
+	case HashIndex:
+		return "HASH"
+	case BitmapIndex:
+		return "BITMAP"
+	case DomainIndex:
+		return "DOMAIN"
+	}
+	return "?"
+}
+
+// Index is one index definition together with its storage handle. For a
+// domain index the storage is owned by the indextype implementation (its
+// index data tables / LOBs); the catalog only records the indextype name
+// and parameter string.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	ColPos int
+	Kind   IndexKind
+	Unique bool
+
+	BT *btree.BTree
+	HX *hashidx.Index
+	BM *bitmapidx.Index
+
+	IndexType string // for DomainIndex
+	Params    string
+
+	// DistinctKeys is a maintained statistic for selectivity estimation.
+	DistinctKeys int
+	// HasRange, MinVal and MaxVal track the numeric value range of the
+	// indexed column (grown on insert, conservatively stale on delete);
+	// the optimizer derives range-predicate selectivity from them.
+	HasRange       bool
+	MinVal, MaxVal float64
+}
+
+// ObserveValue widens the index's numeric range statistic.
+func (ix *Index) ObserveValue(v types.Value) {
+	if v.Kind() != types.KindNumber {
+		return
+	}
+	f := v.Float()
+	if !ix.HasRange {
+		ix.HasRange = true
+		ix.MinVal, ix.MaxVal = f, f
+		return
+	}
+	if f < ix.MinVal {
+		ix.MinVal = f
+	}
+	if f > ix.MaxVal {
+		ix.MaxVal = f
+	}
+}
+
+// Binding is one signature of a user-defined operator with its functional
+// implementation (a registered function name).
+type Binding struct {
+	ArgKinds   []types.Kind
+	ReturnKind types.Kind
+	FuncName   string
+}
+
+// Operator is a user-defined operator schema object.
+type Operator struct {
+	Name     string
+	Bindings []Binding
+	// AncillaryTo names the primary operator this operator is ancillary
+	// to (e.g. Score is ancillary to Contains), or "".
+	AncillaryTo string
+}
+
+// FindBinding returns the binding matching the argument kinds, trying an
+// exact match first and falling back to an arity match (SQL's implicit
+// conversions are not modelled).
+func (o *Operator) FindBinding(argKinds []types.Kind) (*Binding, bool) {
+	for i := range o.Bindings {
+		b := &o.Bindings[i]
+		if len(b.ArgKinds) != len(argKinds) {
+			continue
+		}
+		match := true
+		for j := range argKinds {
+			if argKinds[j] != types.KindNull && b.ArgKinds[j] != argKinds[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return b, true
+		}
+	}
+	for i := range o.Bindings {
+		if len(o.Bindings[i].ArgKinds) == len(argKinds) {
+			return &o.Bindings[i], true
+		}
+	}
+	return nil, false
+}
+
+// OpSig names an operator signature an indextype supports.
+type OpSig struct {
+	Name     string
+	ArgKinds []types.Kind
+}
+
+// IndexType is the indextype schema object: the operators it supports and
+// the names of the registered IndexMethods / StatsMethods implementations.
+type IndexType struct {
+	Name        string
+	Ops         []OpSig
+	MethodsName string
+	StatsName   string
+}
+
+// Supports reports whether the indextype supports the named operator with
+// the given arity.
+func (it *IndexType) Supports(opName string, arity int) bool {
+	for _, s := range it.Ops {
+		if strings.EqualFold(s.Name, opName) && len(s.ArgKinds) == arity {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is the data dictionary. All methods are safe for concurrent
+// use; structural DDL is additionally serialized by the engine's lock
+// manager.
+type Catalog struct {
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	indexes    map[string]*Index
+	byTable    map[string][]*Index
+	operators  map[string]*Operator
+	indextypes map[string]*IndexType
+	typeDescs  map[string]*types.TypeDesc
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:     make(map[string]*Table),
+		indexes:    make(map[string]*Index),
+		byTable:    make(map[string][]*Index),
+		operators:  make(map[string]*Operator),
+		indextypes: make(map[string]*IndexType),
+		typeDescs:  make(map[string]*types.TypeDesc),
+	}
+}
+
+func key(name string) string { return strings.ToUpper(name) }
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, dup := c.tables[k]; dup {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// DropTable removes a table, returning it and its indexes for storage
+// teardown.
+func (c *Catalog) DropTable(name string) (*Table, []*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	t, ok := c.tables[k]
+	if !ok {
+		return nil, nil, fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	idxs := c.byTable[k]
+	delete(c.tables, k)
+	delete(c.byTable, k)
+	for _, ix := range idxs {
+		delete(c.indexes, key(ix.Name))
+	}
+	return t, idxs, nil
+}
+
+// Tables returns the visible table names (sorted listing is the caller's
+// concern).
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddIndex registers an index.
+func (c *Catalog) AddIndex(ix *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(ix.Name)
+	if _, dup := c.indexes[k]; dup {
+		return fmt.Errorf("catalog: index %s already exists", ix.Name)
+	}
+	tk := key(ix.Table)
+	if _, ok := c.tables[tk]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", ix.Table)
+	}
+	c.indexes[k] = ix
+	c.byTable[tk] = append(c.byTable[tk], ix)
+	return nil
+}
+
+// Index looks an index up by name.
+func (c *Catalog) Index(name string) (*Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[key(name)]
+	return ix, ok
+}
+
+// DropIndex removes an index by name, returning it for teardown.
+func (c *Catalog) DropIndex(name string) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	ix, ok := c.indexes[k]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %s does not exist", name)
+	}
+	delete(c.indexes, k)
+	tk := key(ix.Table)
+	list := c.byTable[tk]
+	for i, other := range list {
+		if other == ix {
+			c.byTable[tk] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return ix, nil
+}
+
+// TableIndexes returns the indexes on a table.
+func (c *Catalog) TableIndexes(table string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	list := c.byTable[key(table)]
+	out := make([]*Index, len(list))
+	copy(out, list)
+	return out
+}
+
+// AddOperator registers a user-defined operator.
+func (c *Catalog) AddOperator(op *Operator) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(op.Name)
+	if _, dup := c.operators[k]; dup {
+		return fmt.Errorf("catalog: operator %s already exists", op.Name)
+	}
+	c.operators[k] = op
+	return nil
+}
+
+// Operator looks an operator up by name.
+func (c *Catalog) Operator(name string) (*Operator, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	op, ok := c.operators[key(name)]
+	return op, ok
+}
+
+// DropOperator removes an operator. It fails while any indextype still
+// lists the operator, mirroring Oracle's dependency rules.
+func (c *Catalog) DropOperator(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.operators[k]; !ok {
+		return fmt.Errorf("catalog: operator %s does not exist", name)
+	}
+	for _, it := range c.indextypes {
+		for _, sig := range it.Ops {
+			if key(sig.Name) == k {
+				return fmt.Errorf("catalog: operator %s is supported by indextype %s", name, it.Name)
+			}
+		}
+	}
+	delete(c.operators, k)
+	return nil
+}
+
+// AddIndexType registers an indextype.
+func (c *Catalog) AddIndexType(it *IndexType) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(it.Name)
+	if _, dup := c.indextypes[k]; dup {
+		return fmt.Errorf("catalog: indextype %s already exists", it.Name)
+	}
+	for _, sig := range it.Ops {
+		if _, ok := c.operators[key(sig.Name)]; !ok {
+			return fmt.Errorf("catalog: indextype %s references unknown operator %s", it.Name, sig.Name)
+		}
+	}
+	c.indextypes[k] = it
+	return nil
+}
+
+// IndexType looks an indextype up by name.
+func (c *Catalog) IndexType(name string) (*IndexType, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	it, ok := c.indextypes[key(name)]
+	return it, ok
+}
+
+// DropIndexType removes an indextype; it fails while domain indexes of
+// the type exist.
+func (c *Catalog) DropIndexType(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.indextypes[k]; !ok {
+		return fmt.Errorf("catalog: indextype %s does not exist", name)
+	}
+	for _, ix := range c.indexes {
+		if ix.Kind == DomainIndex && key(ix.IndexType) == k {
+			return fmt.Errorf("catalog: indextype %s is used by index %s", name, ix.Name)
+		}
+	}
+	delete(c.indextypes, k)
+	return nil
+}
+
+// IndexTypesSupporting returns the indextypes that support the operator
+// with the given arity — the optimizer's first question when it sees a
+// user-operator predicate.
+func (c *Catalog) IndexTypesSupporting(opName string, arity int) []*IndexType {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*IndexType
+	for _, it := range c.indextypes {
+		if it.Supports(opName, arity) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// OperatorNames lists registered operator names (persistence).
+func (c *Catalog) OperatorNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.operators))
+	for _, op := range c.operators {
+		out = append(out, op.Name)
+	}
+	return out
+}
+
+// IndexTypeNames lists registered indextype names (persistence).
+func (c *Catalog) IndexTypeNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indextypes))
+	for _, it := range c.indextypes {
+		out = append(out, it.Name)
+	}
+	return out
+}
+
+// TypeDescNames lists registered object type names (persistence).
+func (c *Catalog) TypeDescNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.typeDescs))
+	for _, td := range c.typeDescs {
+		out = append(out, td.Name)
+	}
+	return out
+}
+
+// AddTypeDesc registers a user-defined object type.
+func (c *Catalog) AddTypeDesc(td *types.TypeDesc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(td.Name)
+	if _, dup := c.typeDescs[k]; dup {
+		return fmt.Errorf("catalog: type %s already exists", td.Name)
+	}
+	c.typeDescs[k] = td
+	return nil
+}
+
+// TypeDesc looks an object type up by name.
+func (c *Catalog) TypeDesc(name string) (*types.TypeDesc, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	td, ok := c.typeDescs[key(name)]
+	return td, ok
+}

@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func testTable(t *testing.T, c *Catalog, name string, cols ...Column) *Table {
+	t.Helper()
+	h, err := storage.CreateHeap(storage.NewPager(storage.NewMemBackend(), 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &Table{Name: name, Cols: cols, Heap: h}
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableLifecycle(t *testing.T) {
+	c := New()
+	tbl := testTable(t, c, "Emp", Column{Name: "id", Kind: types.KindNumber})
+	if _, ok := c.Table("emp"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := c.AddTable(tbl); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if got := len(c.Tables()); got != 1 {
+		t.Errorf("Tables() = %d", got)
+	}
+	if _, _, err := c.DropTable("nope"); err == nil {
+		t.Error("drop of missing table succeeded")
+	}
+	if _, _, err := c.DropTable("EMP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("Emp"); ok {
+		t.Error("table survives drop")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	c := New()
+	tbl := testTable(t, c, "T",
+		Column{Name: "Alpha", Kind: types.KindNumber},
+		Column{Name: "Beta", Kind: types.KindString})
+	if tbl.ColIndex("beta") != 1 || tbl.ColIndex("ALPHA") != 0 || tbl.ColIndex("gamma") != -1 {
+		t.Error("ColIndex wrong")
+	}
+}
+
+func TestIndexLifecycleAndDependencies(t *testing.T) {
+	c := New()
+	testTable(t, c, "T", Column{Name: "a", Kind: types.KindNumber})
+	ix := &Index{Name: "T_A", Table: "T", Column: "a", Kind: BTreeIndex}
+	if err := c.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(ix); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "X", Table: "missing"}); err == nil {
+		t.Error("index on missing table accepted")
+	}
+	if got := len(c.TableIndexes("t")); got != 1 {
+		t.Errorf("TableIndexes = %d", got)
+	}
+	// Dropping the table reports its indexes for teardown.
+	_, idxs, err := c.DropTable("T")
+	if err != nil || len(idxs) != 1 {
+		t.Fatalf("DropTable idxs = %v, %v", idxs, err)
+	}
+	if _, ok := c.Index("T_A"); ok {
+		t.Error("index survives table drop")
+	}
+}
+
+func TestOperatorAndIndexTypeDependencies(t *testing.T) {
+	c := New()
+	op := &Operator{Name: "Contains", Bindings: []Binding{{
+		ArgKinds: []types.Kind{types.KindString, types.KindString}, ReturnKind: types.KindNumber, FuncName: "f",
+	}}}
+	if err := c.AddOperator(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndexType(&IndexType{Name: "IT", Ops: []OpSig{{Name: "Missing", ArgKinds: nil}}}); err == nil {
+		t.Error("indextype over missing operator accepted")
+	}
+	it := &IndexType{Name: "IT", MethodsName: "M",
+		Ops: []OpSig{{Name: "Contains", ArgKinds: []types.Kind{types.KindString, types.KindString}}}}
+	if err := c.AddIndexType(it); err != nil {
+		t.Fatal(err)
+	}
+	// Operator cannot be dropped while the indextype lists it.
+	if err := c.DropOperator("contains"); err == nil {
+		t.Error("operator dropped while referenced")
+	}
+	// Indextype cannot be dropped while a domain index uses it.
+	testTable(t, c, "T", Column{Name: "a", Kind: types.KindString})
+	c.AddIndex(&Index{Name: "DI", Table: "T", Column: "a", Kind: DomainIndex, IndexType: "IT"})
+	if err := c.DropIndexType("IT"); err == nil {
+		t.Error("indextype dropped while used")
+	}
+	c.DropIndex("DI")
+	if err := c.DropIndexType("IT"); err != nil {
+		t.Error(err)
+	}
+	if err := c.DropOperator("Contains"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindBinding(t *testing.T) {
+	op := &Operator{Name: "Op", Bindings: []Binding{
+		{ArgKinds: []types.Kind{types.KindNumber, types.KindNumber}, FuncName: "nums"},
+		{ArgKinds: []types.Kind{types.KindString, types.KindString}, FuncName: "strs"},
+	}}
+	b, ok := op.FindBinding([]types.Kind{types.KindString, types.KindString})
+	if !ok || b.FuncName != "strs" {
+		t.Error("exact match failed")
+	}
+	// NULL args match any binding positionally.
+	b, ok = op.FindBinding([]types.Kind{types.KindNumber, types.KindNull})
+	if !ok || b.FuncName != "nums" {
+		t.Error("null-tolerant match failed")
+	}
+	// Arity fallback.
+	b, ok = op.FindBinding([]types.Kind{types.KindBool, types.KindBool})
+	if !ok {
+		t.Error("arity fallback failed")
+	}
+	if _, ok := op.FindBinding([]types.Kind{types.KindNumber}); ok {
+		t.Error("wrong arity matched")
+	}
+}
+
+func TestIndexTypesSupporting(t *testing.T) {
+	c := New()
+	c.AddOperator(&Operator{Name: "Op1"})
+	c.AddIndexType(&IndexType{Name: "A", Ops: []OpSig{{Name: "Op1", ArgKinds: make([]types.Kind, 2)}}})
+	c.AddIndexType(&IndexType{Name: "B", Ops: []OpSig{{Name: "Op1", ArgKinds: make([]types.Kind, 3)}}})
+	if got := c.IndexTypesSupporting("op1", 2); len(got) != 1 || got[0].Name != "A" {
+		t.Errorf("IndexTypesSupporting = %v", got)
+	}
+	if got := c.IndexTypesSupporting("op1", 4); len(got) != 0 {
+		t.Errorf("arity mismatch matched: %v", got)
+	}
+}
+
+func TestObserveValue(t *testing.T) {
+	ix := &Index{}
+	ix.ObserveValue(types.Str("not a number"))
+	if ix.HasRange {
+		t.Error("string observed as range")
+	}
+	ix.ObserveValue(types.Num(5))
+	ix.ObserveValue(types.Num(-3))
+	ix.ObserveValue(types.Num(10))
+	if !ix.HasRange || ix.MinVal != -3 || ix.MaxVal != 10 {
+		t.Errorf("range = [%v, %v]", ix.MinVal, ix.MaxVal)
+	}
+}
+
+func TestTypeDescRegistry(t *testing.T) {
+	c := New()
+	td := &types.TypeDesc{Name: "Point", AttrNames: []string{"x"}, AttrKinds: []types.Kind{types.KindNumber}}
+	if err := c.AddTypeDesc(td); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTypeDesc(td); err == nil {
+		t.Error("duplicate type accepted")
+	}
+	if _, ok := c.TypeDesc("POINT"); !ok {
+		t.Error("case-insensitive type lookup failed")
+	}
+}

@@ -1,0 +1,176 @@
+// Package engine ties the substrates into a working database: it owns the
+// pager, transaction and lock managers, catalog, LOB store and the
+// extensible-indexing registry, and implements SQL execution — DDL
+// (including the paper's CREATE OPERATOR / CREATE INDEXTYPE / domain
+// CREATE INDEX), DML with implicit index maintenance (built-in indexes
+// and ODCIIndex callbacks), and cost-based query planning that can choose
+// a domain index scan and drive it as a pipelined row source.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/extidx"
+	"repro/internal/loblib"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Options configures Open.
+type Options struct {
+	// Path is the database file; empty means a fully in-memory database.
+	Path string
+	// CacheSizePages is the buffer-pool capacity (default 4096 pages,
+	// i.e. 32 MiB).
+	CacheSizePages int
+}
+
+// DB is one database instance.
+type DB struct {
+	pager *storage.Pager
+	txns  *txn.Manager
+	locks *txn.LockManager
+	cat   *catalog.Catalog
+	reg   *extidx.Registry
+	lobs  *loblib.LOBStore
+	ws    *extidx.Workspace
+
+	parseMu    sync.Mutex
+	parseCache map[string]sql.Statement
+
+	// DefaultFetchBatch is the maxRows passed to ODCIIndexFetch when the
+	// plan does not override it (the paper's batch interface; E8 sweeps
+	// this).
+	DefaultFetchBatch int
+
+	// fetchCalls counts ODCIIndexFetch interface crossings across all
+	// domain scans (batching instrumentation).
+	fetchCalls int64
+}
+
+// FetchCalls reports the cumulative number of ODCIIndexFetch invocations.
+func (db *DB) FetchCalls() int64 { return atomic.LoadInt64(&db.fetchCalls) }
+
+// ResetFetchCalls zeroes the ODCIIndexFetch counter.
+func (db *DB) ResetFetchCalls() { atomic.StoreInt64(&db.fetchCalls, 0) }
+
+// Open creates or opens a database.
+func Open(opts Options) (*DB, error) {
+	var backend storage.Backend
+	if opts.Path == "" {
+		backend = storage.NewMemBackend()
+	} else {
+		fb, err := storage.OpenFileBackend(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		backend = fb
+	}
+	cache := opts.CacheSizePages
+	if cache <= 0 {
+		cache = 4096
+	}
+	pager := storage.NewPager(backend, cache)
+	db := &DB{
+		pager:             pager,
+		txns:              txn.NewManager(),
+		locks:             txn.NewLockManager(),
+		cat:               catalog.New(),
+		reg:               extidx.NewRegistry(),
+		lobs:              loblib.NewLOBStore(pager),
+		ws:                extidx.NewWorkspace(),
+		parseCache:        make(map[string]sql.Statement),
+		DefaultFetchBatch: 64,
+	}
+	if backend.NumPages() == 0 {
+		if err := db.initSuperblock(); err != nil {
+			return nil, err
+		}
+	} else if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close snapshots the dictionary, flushes, and closes the database.
+func (db *DB) Close() error {
+	if err := db.SaveSnapshot(); err != nil {
+		return err
+	}
+	return db.pager.Close()
+}
+
+// Registry exposes the extensible-indexing registry so cartridges can
+// register their IndexMethods, StatsMethods and functions before issuing
+// the SQL DDL that references them.
+func (db *DB) Registry() *extidx.Registry { return db.reg }
+
+// Catalog exposes the data dictionary (read-mostly: tools and tests).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// PagerStats returns buffer-pool I/O counters (benchmarks read these to
+// reproduce the paper's logical-I/O claims).
+func (db *DB) PagerStats() storage.Stats { return db.pager.Stats() }
+
+// ResetPagerStats zeroes the I/O counters.
+func (db *DB) ResetPagerStats() { db.pager.ResetStats() }
+
+// LOBStore exposes the database LOB store.
+func (db *DB) LOBStore() *loblib.LOBStore { return db.lobs }
+
+// TxnEvents exposes the database-event registry (§5): handlers fire on
+// every commit/rollback in the database.
+func (db *DB) TxnEvents() *txn.Manager { return db.txns }
+
+// Workspace exposes the scan-context workspace (tests check for leaks).
+func (db *DB) Workspace() *extidx.Workspace { return db.ws }
+
+// Checkpoint snapshots the dictionary and flushes all dirty pages to the
+// backend, making the on-disk image reopenable.
+func (db *DB) Checkpoint() error { return db.SaveSnapshot() }
+
+func (db *DB) parse(text string) (sql.Statement, error) {
+	db.parseMu.Lock()
+	st, ok := db.parseCache[text]
+	db.parseMu.Unlock()
+	if ok {
+		return st, nil
+	}
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	db.parseMu.Lock()
+	if len(db.parseCache) > 4096 { // bound the cache
+		db.parseCache = make(map[string]sql.Statement)
+	}
+	db.parseCache[text] = st
+	db.parseMu.Unlock()
+	return st, nil
+}
+
+// resolveKind maps a SQL type name to a value kind, consulting the
+// catalog for user-defined object types.
+func (db *DB) resolveKind(typeName string) (types.Kind, string, error) {
+	if _, ok := db.cat.TypeDesc(typeName); ok {
+		return types.KindObject, typeName, nil
+	}
+	k, err := types.ParseKind(typeName)
+	if err != nil {
+		return types.KindNull, "", err
+	}
+	return k, typeName, nil
+}
+
+// fmtErr wraps an error with statement context.
+func fmtErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", op, err)
+}

@@ -1,0 +1,843 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/extidx"
+	"repro/internal/types"
+)
+
+func newDB(t testing.TB) *DB {
+	t.Helper()
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t testing.TB, s *Session, text string, params ...types.Value) Result {
+	t.Helper()
+	r, err := s.Exec(text, params...)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", text, err)
+	}
+	return r
+}
+
+func mustQuery(t testing.TB, s *Session, text string, params ...types.Value) *ResultSet {
+	t.Helper()
+	rs, err := s.Query(text, params...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", text, err)
+	}
+	return rs
+}
+
+func TestBasicTableLifecycle(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE Employees(name VARCHAR(128), id INTEGER, resume VARCHAR2(1024))`)
+	mustExec(t, s, `INSERT INTO Employees VALUES ('alice', 1, 'Oracle and UNIX expert')`)
+	mustExec(t, s, `INSERT INTO Employees (id, name) VALUES (2, 'bob')`)
+
+	rs := mustQuery(t, s, `SELECT * FROM Employees ORDER BY id`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	if rs.Columns[0] != "NAME" || rs.Columns[2] != "RESUME" {
+		t.Errorf("columns = %v", rs.Columns)
+	}
+	if rs.Rows[0][0].Text() != "alice" || !rs.Rows[1][2].IsNull() {
+		t.Errorf("row data wrong: %v", rs.Rows)
+	}
+
+	r := mustExec(t, s, `UPDATE Employees SET resume = 'hired' WHERE name = 'bob'`)
+	if r.RowsAffected != 1 {
+		t.Errorf("update affected %d", r.RowsAffected)
+	}
+	rs = mustQuery(t, s, `SELECT resume FROM Employees WHERE name = 'bob'`)
+	if rs.Rows[0][0].Text() != "hired" {
+		t.Error("update not visible")
+	}
+
+	r = mustExec(t, s, `DELETE FROM Employees WHERE id = 1`)
+	if r.RowsAffected != 1 {
+		t.Errorf("delete affected %d", r.RowsAffected)
+	}
+	rs = mustQuery(t, s, `SELECT COUNT(*) FROM Employees`)
+	if rs.Rows[0][0].Int64() != 1 {
+		t.Errorf("count = %s", rs.Rows[0][0])
+	}
+
+	mustExec(t, s, `TRUNCATE TABLE Employees`)
+	rs = mustQuery(t, s, `SELECT COUNT(*) FROM Employees`)
+	if rs.Rows[0][0].Int64() != 0 {
+		t.Error("truncate left rows")
+	}
+	mustExec(t, s, `DROP TABLE Employees`)
+	if _, err := s.Query(`SELECT * FROM Employees`); err == nil {
+		t.Error("dropped table still queryable")
+	}
+}
+
+func TestExpressionsAndPredicates(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE nums(a NUMBER, b NUMBER, s VARCHAR2)`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, s, `INSERT INTO nums VALUES (?, ?, ?)`,
+			types.Int(int64(i)), types.Int(int64(i*i)), types.Str(fmt.Sprintf("str%d", i)))
+	}
+	rs := mustQuery(t, s, `SELECT a + b * 2, s || '!' FROM nums WHERE a = 3`)
+	if rs.Rows[0][0].Float() != 21 || rs.Rows[0][1].Text() != "str3!" {
+		t.Errorf("exprs = %v", rs.Rows[0])
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE a BETWEEN 3 AND 5 ORDER BY a DESC`)
+	if len(rs.Rows) != 3 || rs.Rows[0][0].Int64() != 5 {
+		t.Errorf("between = %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE a IN (2, 4, 99)`)
+	if len(rs.Rows) != 2 {
+		t.Errorf("in-list = %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE s LIKE 'str1%'`)
+	if len(rs.Rows) != 2 { // str1, str10
+		t.Errorf("like = %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE NOT (a < 9) OR a = 1 ORDER BY a`)
+	if len(rs.Rows) != 3 { // 1, 9, 10
+		t.Errorf("logic = %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums LIMIT 4`)
+	if len(rs.Rows) != 4 {
+		t.Errorf("limit = %d", len(rs.Rows))
+	}
+	// NULL semantics: comparisons with NULL never match.
+	mustExec(t, s, `INSERT INTO nums (a) VALUES (100)`)
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE b = b AND a = 100`)
+	if len(rs.Rows) != 0 {
+		t.Error("NULL = NULL matched")
+	}
+	rs = mustQuery(t, s, `SELECT a FROM nums WHERE b IS NULL`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Int64() != 100 {
+		t.Errorf("IS NULL = %v", rs.Rows)
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE emp(dept VARCHAR2, salary NUMBER)`)
+	for i, d := range []string{"eng", "eng", "eng", "sales", "sales", "hr"} {
+		mustExec(t, s, `INSERT INTO emp VALUES (?, ?)`, types.Str(d), types.Int(int64(100*(i+1))))
+	}
+	rs := mustQuery(t, s, `SELECT dept, COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary)
+		FROM emp GROUP BY dept ORDER BY dept`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("groups = %v", rs.Rows)
+	}
+	eng := rs.Rows[0]
+	if eng[0].Text() != "eng" || eng[1].Int64() != 3 || eng[2].Float() != 600 ||
+		eng[3].Float() != 200 || eng[4].Float() != 100 || eng[5].Float() != 300 {
+		t.Errorf("eng row = %v", eng)
+	}
+	rs = mustQuery(t, s, `SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept`)
+	if len(rs.Rows) != 2 {
+		t.Errorf("having = %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT COUNT(*) FROM emp WHERE dept = 'none'`)
+	if rs.Rows[0][0].Int64() != 0 {
+		t.Error("global aggregate over empty input should yield 0")
+	}
+}
+
+func TestJoins(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE dept(id NUMBER, dname VARCHAR2)`)
+	mustExec(t, s, `CREATE TABLE emp(name VARCHAR2, dept_id NUMBER)`)
+	mustExec(t, s, `INSERT INTO dept VALUES (1, 'eng'), (2, 'sales')`)
+	mustExec(t, s, `INSERT INTO emp VALUES ('a', 1), ('b', 1), ('c', 2), ('d', 3)`)
+
+	rs := mustQuery(t, s, `SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept_id = d.id ORDER BY e.name`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("join rows = %v", rs.Rows)
+	}
+	if rs.Rows[0][1].Text() != "eng" || rs.Rows[2][1].Text() != "sales" {
+		t.Errorf("join = %v", rs.Rows)
+	}
+	// Indexed inner: same result with a B-tree on dept.id.
+	mustExec(t, s, `CREATE INDEX dept_id_ix ON dept(id)`)
+	rs2 := mustQuery(t, s, `SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept_id = d.id ORDER BY e.name`)
+	if len(rs2.Rows) != 3 || rs2.Rows[0][1].Text() != "eng" {
+		t.Errorf("indexed join = %v", rs2.Rows)
+	}
+	// rowid join (the pre-8i rewrite idiom from §3.2.1).
+	mustExec(t, s, `CREATE TABLE results(rid NUMBER)`)
+	base := mustQuery(t, s, `SELECT ROWID FROM emp WHERE dept_id = 1`)
+	for _, r := range base.Rows {
+		mustExec(t, s, `INSERT INTO results VALUES (?)`, r[0])
+	}
+	rs3 := mustQuery(t, s, `SELECT e.name FROM emp e, results r WHERE e.ROWID = r.rid ORDER BY e.name`)
+	if len(rs3.Rows) != 2 || rs3.Rows[0][0].Text() != "a" {
+		t.Errorf("rowid join = %v", rs3.Rows)
+	}
+}
+
+func TestBuiltinIndexPathsAgree(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE t(k NUMBER, cat VARCHAR2, v VARCHAR2)`)
+	for i := 0; i < 500; i++ {
+		mustExec(t, s, `INSERT INTO t VALUES (?, ?, ?)`,
+			types.Int(int64(i)), types.Str(fmt.Sprintf("cat%d", i%5)), types.Str(fmt.Sprintf("v%d", i)))
+	}
+	mustExec(t, s, `CREATE INDEX t_k ON t(k)`)
+	mustExec(t, s, `CREATE HASH INDEX t_v ON t(v)`)
+	mustExec(t, s, `CREATE BITMAP INDEX t_cat ON t(cat)`)
+
+	// Equality via each index kind agrees with a forced full scan.
+	queries := []string{
+		`SELECT k FROM t WHERE k = 123`,
+		`SELECT k FROM t WHERE v = 'v321'`,
+		`SELECT COUNT(*) FROM t WHERE cat = 'cat2'`,
+		`SELECT k FROM t WHERE k BETWEEN 100 AND 110 ORDER BY k`,
+		`SELECT k FROM t WHERE k >= 495 ORDER BY k`,
+		`SELECT k FROM t WHERE k < 5 ORDER BY k`,
+	}
+	for _, q := range queries {
+		auto := mustQuery(t, s, q)
+		s.SetForcedPath(ForceFullScan)
+		full := mustQuery(t, s, q)
+		s.SetForcedPath(ForceAuto)
+		if len(auto.Rows) != len(full.Rows) {
+			t.Fatalf("%s: auto %d rows, full %d rows", q, len(auto.Rows), len(full.Rows))
+		}
+		for i := range auto.Rows {
+			for j := range auto.Rows[i] {
+				if !types.Identical(auto.Rows[i][j], full.Rows[i][j]) {
+					t.Fatalf("%s: row %d differs", q, i)
+				}
+			}
+		}
+	}
+	// The plans actually use the indexes.
+	ex := mustQuery(t, s, `EXPLAIN PLAN FOR SELECT k FROM t WHERE k = 123`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "T_K") {
+		t.Errorf("explain = %v", ex.Rows)
+	}
+	ex = mustQuery(t, s, `EXPLAIN PLAN FOR SELECT k FROM t WHERE v = 'v9'`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "HASH LOOKUP") {
+		t.Errorf("explain = %v", ex.Rows)
+	}
+	// The bitmap predicate hits 20% of the table, so the optimizer rightly
+	// prefers a full scan; force index access to check the bitmap path is
+	// plumbed through EXPLAIN.
+	s.SetForcedPath(ForceIndexScan)
+	ex = mustQuery(t, s, `EXPLAIN PLAN FOR SELECT k FROM t WHERE cat = 'cat1'`)
+	s.SetForcedPath(ForceAuto)
+	if !strings.Contains(ex.Rows[0][0].Text(), "BITMAP") {
+		t.Errorf("explain = %v", ex.Rows)
+	}
+}
+
+func TestIndexMaintenanceOnDML(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE t(k NUMBER, v VARCHAR2)`)
+	mustExec(t, s, `CREATE INDEX t_k ON t(k)`)
+	for i := 0; i < 100; i++ {
+		mustExec(t, s, `INSERT INTO t VALUES (?, 'x')`, types.Int(int64(i%10)))
+	}
+	count := func(k int) int {
+		rs := mustQuery(t, s, fmt.Sprintf(`SELECT COUNT(*) FROM t WHERE k = %d`, k))
+		return int(rs.Rows[0][0].Int64())
+	}
+	if count(3) != 10 {
+		t.Fatalf("count(3) = %d", count(3))
+	}
+	mustExec(t, s, `UPDATE t SET k = 99 WHERE k = 3`)
+	if count(3) != 0 || count(99) != 10 {
+		t.Errorf("after update: count(3)=%d count(99)=%d", count(3), count(99))
+	}
+	mustExec(t, s, `DELETE FROM t WHERE k = 99`)
+	if count(99) != 0 {
+		t.Errorf("after delete: count(99)=%d", count(99))
+	}
+}
+
+func TestUniqueIndexEnforcement(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE u(id NUMBER, v VARCHAR2)`)
+	mustExec(t, s, `CREATE UNIQUE INDEX u_id ON u(id)`)
+	mustExec(t, s, `INSERT INTO u VALUES (1, 'a')`)
+	if _, err := s.Exec(`INSERT INTO u VALUES (1, 'b')`); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	// Statement atomicity: multi-row insert with a late duplicate must
+	// leave no partial rows.
+	if _, err := s.Exec(`INSERT INTO u VALUES (2, 'c'), (3, 'd'), (1, 'dup')`); err == nil {
+		t.Fatal("duplicate in batch accepted")
+	}
+	rs := mustQuery(t, s, `SELECT COUNT(*) FROM u`)
+	if rs.Rows[0][0].Int64() != 1 {
+		t.Errorf("partial batch persisted: count=%s", rs.Rows[0][0])
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE t(v NUMBER)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO t VALUES (1), (2)`)
+	mustExec(t, s, `UPDATE t SET v = 20 WHERE v = 2`)
+	rs := mustQuery(t, s, `SELECT COUNT(*) FROM t`)
+	if rs.Rows[0][0].Int64() != 2 {
+		t.Fatal("uncommitted rows invisible to own session")
+	}
+	mustExec(t, s, `ROLLBACK`)
+	rs = mustQuery(t, s, `SELECT COUNT(*) FROM t`)
+	if rs.Rows[0][0].Int64() != 0 {
+		t.Fatalf("rollback left %s rows", rs.Rows[0][0])
+	}
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO t VALUES (7)`)
+	mustExec(t, s, `COMMIT`)
+	rs = mustQuery(t, s, `SELECT v FROM t`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Int64() != 7 {
+		t.Error("commit lost data")
+	}
+	// Rollback restores indexes too.
+	mustExec(t, s, `CREATE INDEX t_v ON t(v)`)
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `DELETE FROM t WHERE v = 7`)
+	mustExec(t, s, `ROLLBACK`)
+	rs = mustQuery(t, s, `SELECT v FROM t WHERE v = 7`)
+	if len(rs.Rows) != 1 {
+		t.Error("index not restored by rollback")
+	}
+}
+
+func TestObjectAndCollectionColumns(t *testing.T) {
+	db := newDB(t)
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TYPE Point AS OBJECT (x NUMBER, y NUMBER)`)
+	mustExec(t, s, `CREATE TABLE sites(name VARCHAR2, loc Point, tags VARRAY)`)
+
+	ses := db.NewSession()
+	if err := ses.InsertRow("sites", []types.Value{
+		types.Str("hq"), types.Obj("Point", types.Num(1), types.Num(2)), types.Arr(types.Str("a"), types.Str("b")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Type validation rejects wrong shapes.
+	if err := ses.InsertRow("sites", []types.Value{
+		types.Str("bad"), types.Obj("Point", types.Num(1)), types.Null(),
+	}); err == nil {
+		t.Error("arity-violating object accepted")
+	}
+	rs := mustQuery(t, s, `SELECT loc, tags FROM sites WHERE name = 'hq'`)
+	if rs.Rows[0][0].Object() == nil || len(rs.Rows[0][1].Elems()) != 2 {
+		t.Errorf("object/array round trip: %v", rs.Rows[0])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A complete toy indextype (keyword index) exercising the whole framework.
+
+// kwMethods implements extidx.IndexMethods for a HasKw(VARCHAR2, VARCHAR2)
+// operator: it tokenizes the column on spaces and stores (token, rid)
+// pairs in an index data table through SQL callbacks, exactly as §2.2.3
+// prescribes.
+type kwMethods struct {
+	useHandle bool // exercise return-handle vs return-state
+	failNext  map[string]bool
+}
+
+type kwState struct {
+	rids []int64
+	anc  []types.Value
+}
+
+func (m *kwMethods) dt(info extidx.IndexInfo) string { return info.DataTableName("KW") }
+
+func (m *kwMethods) Create(s extidx.Server, info extidx.IndexInfo) error {
+	if _, err := s.Exec(fmt.Sprintf(`CREATE TABLE %s(token VARCHAR2, rid NUMBER)`, m.dt(info))); err != nil {
+		return err
+	}
+	if _, err := s.Exec(fmt.Sprintf(`CREATE INDEX %s_TOK ON %s(token)`, m.dt(info), m.dt(info))); err != nil {
+		return err
+	}
+	rows, err := s.Query(fmt.Sprintf(`SELECT %s, ROWID FROM %s`, info.ColumnName, info.TableName))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := m.indexOne(s, info, r[1].Int64(), r[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *kwMethods) indexOne(s extidx.Server, info extidx.IndexInfo, rid int64, val types.Value) error {
+	if val.IsNull() {
+		return nil
+	}
+	for _, tok := range strings.Fields(strings.ToLower(val.Text())) {
+		if _, err := s.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (?, ?)`, m.dt(info)),
+			types.Str(tok), types.Int(rid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *kwMethods) Alter(s extidx.Server, info extidx.IndexInfo, newParams string) error { return nil }
+
+func (m *kwMethods) Truncate(s extidx.Server, info extidx.IndexInfo) error {
+	_, err := s.Exec(fmt.Sprintf(`DELETE FROM %s`, m.dt(info)))
+	return err
+}
+
+func (m *kwMethods) Drop(s extidx.Server, info extidx.IndexInfo) error {
+	_, err := s.Exec(fmt.Sprintf(`DROP TABLE %s`, m.dt(info)))
+	return err
+}
+
+func (m *kwMethods) Insert(s extidx.Server, info extidx.IndexInfo, rid int64, newVal types.Value) error {
+	if m.failNext["insert"] {
+		m.failNext["insert"] = false
+		return fmt.Errorf("kw: injected insert failure")
+	}
+	return m.indexOne(s, info, rid, newVal)
+}
+
+func (m *kwMethods) Delete(s extidx.Server, info extidx.IndexInfo, rid int64, oldVal types.Value) error {
+	_, err := s.Exec(fmt.Sprintf(`DELETE FROM %s WHERE rid = ?`, m.dt(info)), types.Int(rid))
+	return err
+}
+
+func (m *kwMethods) Update(s extidx.Server, info extidx.IndexInfo, rid int64, oldVal, newVal types.Value) error {
+	if err := m.Delete(s, info, rid, oldVal); err != nil {
+		return err
+	}
+	return m.indexOne(s, info, rid, newVal)
+}
+
+func (m *kwMethods) Start(s extidx.Server, info extidx.IndexInfo, call extidx.OperatorCall) (extidx.ScanState, error) {
+	if !call.WantsTrue() {
+		return nil, fmt.Errorf("kw: only equality-to-1 predicates supported")
+	}
+	kw := strings.ToLower(call.Args[0].Text())
+	rows, err := s.Query(fmt.Sprintf(`SELECT rid FROM %s WHERE token = ?`, m.dt(info)), types.Str(kw))
+	if err != nil {
+		return nil, err
+	}
+	st := &kwState{}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		rid := r[0].Int64()
+		if !seen[rid] {
+			seen[rid] = true
+			st.rids = append(st.rids, rid)
+			st.anc = append(st.anc, types.Num(float64(len(kw)))) // toy score
+		}
+	}
+	if m.useHandle {
+		return s.Workspace().Alloc(st), nil
+	}
+	return extidx.StateValue{V: st}, nil
+}
+
+func (m *kwMethods) state(s extidx.Server, st extidx.ScanState) (*kwState, error) {
+	switch v := st.(type) {
+	case extidx.StateValue:
+		return v.V.(*kwState), nil
+	case extidx.StateHandle:
+		e, err := s.Workspace().Get(v)
+		if err != nil {
+			return nil, err
+		}
+		return e.(*kwState), nil
+	}
+	return nil, fmt.Errorf("kw: bad state %T", st)
+}
+
+func (m *kwMethods) Fetch(s extidx.Server, st extidx.ScanState, maxRows int) (extidx.FetchResult, extidx.ScanState, error) {
+	ks, err := m.state(s, st)
+	if err != nil {
+		return extidx.FetchResult{}, st, err
+	}
+	if maxRows <= 0 || maxRows > len(ks.rids) {
+		maxRows = len(ks.rids)
+	}
+	res := extidx.FetchResult{
+		RIDs:      ks.rids[:maxRows],
+		Ancillary: ks.anc[:maxRows],
+	}
+	ks.rids = ks.rids[maxRows:]
+	ks.anc = ks.anc[maxRows:]
+	res.Done = len(ks.rids) == 0
+	return res, st, nil
+}
+
+func (m *kwMethods) Close(s extidx.Server, st extidx.ScanState) error {
+	if h, ok := st.(extidx.StateHandle); ok {
+		s.Workspace().Free(h)
+	}
+	return nil
+}
+
+// kwStats implements extidx.StatsMethods by querying the index data table.
+type kwStats struct{ m *kwMethods }
+
+func (st kwStats) Selectivity(s extidx.Server, info extidx.IndexInfo, call extidx.OperatorCall) (float64, error) {
+	kw := strings.ToLower(call.Args[0].Text())
+	rows, err := s.Query(fmt.Sprintf(`SELECT COUNT(*) FROM %s WHERE token = ?`, st.m.dt(info)), types.Str(kw))
+	if err != nil {
+		return 0, err
+	}
+	n, err := s.RowCountEstimate(info.TableName)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	sel := rows[0][0].Float() / n
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, nil
+}
+
+func (st kwStats) IndexCost(s extidx.Server, info extidx.IndexInfo, call extidx.OperatorCall, sel float64) (extidx.Cost, error) {
+	n, err := s.RowCountEstimate(info.TableName)
+	if err != nil {
+		return extidx.Cost{}, err
+	}
+	rows := sel * n
+	return extidx.Cost{IO: 2 + rows, CPU: rows}, nil
+}
+
+// hasKwFn is the functional implementation of the HasKw operator.
+func hasKwFn(args []types.Value) (types.Value, error) {
+	if len(args) < 2 || args[0].IsNull() || args[1].IsNull() {
+		return types.Num(0), nil
+	}
+	kw := strings.ToLower(args[1].Text())
+	for _, tok := range strings.Fields(strings.ToLower(args[0].Text())) {
+		if tok == kw {
+			return types.Num(1), nil
+		}
+	}
+	return types.Num(0), nil
+}
+
+// kwScoreFn is required so the ancillary Score operator has a functional
+// binding (never actually better than the index-provided value here).
+func kwScoreFn(args []types.Value) (types.Value, error) { return types.Null(), nil }
+
+func setupKwCartridge(t testing.TB, db *DB, m *kwMethods) *Session {
+	t.Helper()
+	reg := db.Registry()
+	if err := reg.RegisterFunction("HasKwFn", hasKwFn); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterFunction("KwScoreFn", kwScoreFn); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterMethods("KwIndexMethods", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterStats("KwStats", kwStats{m: m}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	mustExec(t, s, `CREATE OPERATOR HasKw BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING HasKwFn`)
+	mustExec(t, s, `CREATE OPERATOR KwScore BINDING (NUMBER) RETURN NUMBER USING KwScoreFn ANCILLARY TO HasKw`)
+	mustExec(t, s, `CREATE INDEXTYPE KwIndexType FOR HasKw(VARCHAR2, VARCHAR2) USING KwIndexMethods WITH STATS KwStats`)
+	mustExec(t, s, `CREATE TABLE Docs(id NUMBER, body VARCHAR2)`)
+	docs := []string{
+		"oracle unix database",
+		"unix kernel hacking",
+		"oracle spatial cartridge",
+		"cooking recipes",
+		"oracle oracle oracle",
+	}
+	for i, d := range docs {
+		mustExec(t, s, `INSERT INTO Docs VALUES (?, ?)`, types.Int(int64(i+1)), types.Str(d))
+	}
+	// Filler documents make the table big enough that index scans beat
+	// full scans on selective keywords, as in any realistic corpus.
+	filler := "alpha beta gamma delta epsilon zeta eta theta iota kappa " +
+		"lambda mu nu xi omicron pi rho sigma tau upsilon phi chi psi omega " +
+		"one two three four five six seven eight nine ten eleven twelve"
+	for i := 1000; i < 1200; i++ {
+		mustExec(t, s, `INSERT INTO Docs VALUES (?, ?)`, types.Int(int64(i)), types.Str(filler))
+	}
+	return s
+}
+
+func TestDomainIndexLifecycle(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+
+	// Functional evaluation works before any index exists.
+	rs := mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'oracle') ORDER BY id`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("functional rows = %v", rs.Rows)
+	}
+
+	// Create the domain index; ODCIIndexCreate builds and populates the
+	// index data table via callbacks.
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType PARAMETERS (':toy')`)
+	dt := mustQuery(t, s, `SELECT COUNT(*) FROM DR$DOCKWIDX$KW`)
+	if dt.Rows[0][0].Int64() == 0 {
+		t.Fatal("index data table empty after create")
+	}
+
+	// The optimizer now routes the operator to a domain scan.
+	ex := mustQuery(t, s, `EXPLAIN PLAN FOR SELECT id FROM Docs WHERE HasKw(body, 'unix')`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "DOMAIN INDEX DOCKWIDX") {
+		t.Fatalf("explain = %v", ex.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Int64() != 1 || rs.Rows[1][0].Int64() != 2 {
+		t.Fatalf("domain rows = %v", rs.Rows)
+	}
+
+	// Results agree with forced functional evaluation.
+	s.SetForcedPath(ForceFullScan)
+	full := mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	s.SetForcedPath(ForceAuto)
+	if len(full.Rows) != len(rs.Rows) {
+		t.Fatal("functional and indexed paths disagree")
+	}
+
+	// DML maintains the index implicitly.
+	mustExec(t, s, `INSERT INTO Docs VALUES (6, 'fresh unix document')`)
+	rs = mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("after insert: %v", rs.Rows)
+	}
+	mustExec(t, s, `UPDATE Docs SET body = 'linux now' WHERE id = 6`)
+	rs = mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("after update: %v", rs.Rows)
+	}
+	rs = mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'linux')`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Int64() != 6 {
+		t.Fatalf("after update (new value): %v", rs.Rows)
+	}
+	mustExec(t, s, `DELETE FROM Docs WHERE id = 6`)
+	rs = mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'linux')`)
+	if len(rs.Rows) != 0 {
+		t.Fatalf("after delete: %v", rs.Rows)
+	}
+
+	// ALTER INDEX PARAMETERS reaches ODCIIndexAlter.
+	mustExec(t, s, `ALTER INDEX DocKwIdx PARAMETERS (':other')`)
+
+	// TRUNCATE TABLE reaches ODCIIndexTruncate.
+	mustExec(t, s, `TRUNCATE TABLE Docs`)
+	dt = mustQuery(t, s, `SELECT COUNT(*) FROM DR$DOCKWIDX$KW`)
+	if dt.Rows[0][0].Int64() != 0 {
+		t.Fatal("truncate did not reach the domain index")
+	}
+
+	// DROP INDEX reaches ODCIIndexDrop (the data table disappears).
+	mustExec(t, s, `DROP INDEX DocKwIdx`)
+	if _, err := s.Query(`SELECT COUNT(*) FROM DR$DOCKWIDX$KW`); err == nil {
+		t.Fatal("index data table survived drop")
+	}
+}
+
+func TestDomainIndexTransactionalRollback(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+
+	countKw := func(kw string) int {
+		rs := mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, ?)`, types.Str(kw))
+		return len(rs.Rows)
+	}
+	before := countKw("oracle")
+
+	// §2.5: updates to index data share the transaction of the base-table
+	// update; user abort rolls both back.
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `INSERT INTO Docs VALUES (100, 'oracle rollback test')`)
+	if countKw("rollback") != 1 {
+		t.Fatal("in-transaction index entry invisible")
+	}
+	mustExec(t, s, `ROLLBACK`)
+	if countKw("rollback") != 0 {
+		t.Error("rolled-back row still indexed")
+	}
+	if countKw("oracle") != before {
+		t.Error("rollback corrupted index")
+	}
+
+	// Statement atomicity: a failing ODCIIndexInsert aborts the whole
+	// statement, including the heap insert and earlier index rows.
+	m.failNext["insert"] = true
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (101, 'doomed insert')`); err == nil {
+		t.Fatal("failing maintenance did not fail the statement")
+	}
+	rs := mustQuery(t, s, `SELECT COUNT(*) FROM Docs WHERE id = 101`)
+	if rs.Rows[0][0].Int64() != 0 {
+		t.Error("heap insert survived failed index maintenance")
+	}
+}
+
+func TestCallbackRestrictions(t *testing.T) {
+	db := newDB(t)
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE base(v VARCHAR2)`)
+
+	// Maintenance mode: DDL rejected, base-table writes rejected, other
+	// DML and queries allowed.
+	maint := s.server(extidx.ModeMaintenance, "base")
+	if _, err := maint.Exec(`CREATE TABLE x(v NUMBER)`); err == nil {
+		t.Error("maintenance DDL allowed")
+	}
+	if _, err := maint.Exec(`INSERT INTO base VALUES ('boom')`); err == nil {
+		t.Error("maintenance write to base table allowed")
+	}
+	if _, err := maint.Query(`SELECT COUNT(*) FROM base`); err != nil {
+		t.Errorf("maintenance query rejected: %v", err)
+	}
+
+	// Scan mode: queries only.
+	scan := s.server(extidx.ModeScan, "base")
+	if _, err := scan.Exec(`INSERT INTO base VALUES ('x')`); err == nil {
+		t.Error("scan-mode DML allowed")
+	}
+	if _, err := scan.Query(`SELECT COUNT(*) FROM base`); err != nil {
+		t.Errorf("scan query rejected: %v", err)
+	}
+
+	// Definition mode: everything allowed.
+	def := s.server(extidx.ModeDefinition, "base")
+	if _, err := def.Exec(`CREATE TABLE defmade(v NUMBER)`); err != nil {
+		t.Errorf("definition DDL rejected: %v", err)
+	}
+	if _, err := def.Exec(`INSERT INTO base VALUES ('ok')`); err != nil {
+		t.Errorf("definition DML rejected: %v", err)
+	}
+}
+
+func TestAncillaryOperator(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+
+	// Contains-style label pairing: HasKw(body, 'oracle', 1) with
+	// KwScore(1) exposes the scan's ancillary value (toy score = keyword
+	// length). Ancillary data only exists on the index path, so force it.
+	s.SetForcedPath(ForceDomainScan)
+	defer s.SetForcedPath(ForceAuto)
+	rs := mustQuery(t, s, `SELECT id, KwScore(1) FROM Docs WHERE HasKw(body, 'oracle', 1) ORDER BY id`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	for _, r := range rs.Rows {
+		if r[1].Float() != 6 { // len("oracle")
+			t.Errorf("score = %v", r[1])
+		}
+	}
+}
+
+func TestOptimizerChoosesCheaperPath(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	// Grow the table so costs separate cleanly.
+	for i := 10; i < 400; i++ {
+		body := "filler words here"
+		if i%2 == 0 {
+			body = "oracle " + body // 'oracle' is very common
+		}
+		mustExec(t, s, `INSERT INTO Docs VALUES (?, ?)`, types.Int(int64(i)), types.Str(body))
+	}
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+	mustExec(t, s, `CREATE UNIQUE INDEX DocIdIdx ON Docs(id)`)
+
+	// Rare keyword → domain scan wins.
+	ex := mustQuery(t, s, `EXPLAIN PLAN FOR SELECT id FROM Docs WHERE HasKw(body, 'cooking')`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "DOMAIN INDEX") {
+		t.Errorf("rare keyword plan = %v", ex.Rows)
+	}
+
+	// Keyword + unique id equality → B-tree on id is far cheaper; the
+	// operator falls back to its functional implementation (the paper's
+	// Contains(resume,'Oracle') AND id=100 example).
+	ex = mustQuery(t, s, `EXPLAIN PLAN FOR SELECT id FROM Docs WHERE HasKw(body, 'oracle') AND id = 42`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "DOCIDIDX") {
+		t.Errorf("id-equality plan = %v", ex.Rows)
+	}
+	rs := mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'oracle') AND id = 42`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Int64() != 42 {
+		t.Errorf("combined predicate rows = %v", rs.Rows)
+	}
+
+	// Very common keyword ('oracle' in ~half the table): full scan beats
+	// the domain index under the user-supplied cost model.
+	ex = mustQuery(t, s, `EXPLAIN PLAN FOR SELECT COUNT(*) FROM Docs WHERE HasKw(body, 'oracle')`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "TABLE ACCESS FULL") {
+		t.Errorf("common keyword plan = %v", ex.Rows)
+	}
+}
+
+func TestScanStateHandleVsValue(t *testing.T) {
+	for _, useHandle := range []bool{false, true} {
+		t.Run(fmt.Sprintf("handle=%v", useHandle), func(t *testing.T) {
+			db := newDB(t)
+			m := &kwMethods{useHandle: useHandle, failNext: map[string]bool{}}
+			s := setupKwCartridge(t, db, m)
+			mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+			rs := mustQuery(t, s, `SELECT id FROM Docs WHERE HasKw(body, 'oracle') ORDER BY id`)
+			if len(rs.Rows) != 3 {
+				t.Fatalf("rows = %v", rs.Rows)
+			}
+			if db.Workspace().Live() != 0 {
+				t.Errorf("workspace leaked %d entries", db.Workspace().Live())
+			}
+		})
+	}
+}
+
+func TestBatchedFetch(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	for i := 10; i < 200; i++ {
+		mustExec(t, s, `INSERT INTO Docs VALUES (?, 'common word')`, types.Int(int64(i)))
+	}
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+	db.DefaultFetchBatch = 16
+	rs := mustQuery(t, s, `SELECT COUNT(*) FROM Docs WHERE HasKw(body, 'common')`)
+	if rs.Rows[0][0].Int64() != 190 {
+		t.Fatalf("count = %s", rs.Rows[0][0])
+	}
+}
+
+func TestDropIndexTypeDependencyRules(t *testing.T) {
+	db := newDB(t)
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+
+	if _, err := s.Exec(`DROP INDEXTYPE KwIndexType`); err == nil {
+		t.Error("indextype dropped while an index uses it")
+	}
+	if _, err := s.Exec(`DROP OPERATOR HasKw`); err == nil {
+		t.Error("operator dropped while an indextype lists it")
+	}
+	mustExec(t, s, `DROP INDEX DocKwIdx`)
+	mustExec(t, s, `DROP INDEXTYPE KwIndexType`)
+	mustExec(t, s, `DROP OPERATOR HasKw`)
+}

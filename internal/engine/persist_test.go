@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.db")
+
+	// Phase 1: build a schema with every index kind plus a domain index.
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &kwMethods{failNext: map[string]bool{}}
+	s := setupKwCartridge(t, db, m)
+	mustExec(t, s, `CREATE TABLE t(k NUMBER, cat VARCHAR2, v VARCHAR2)`)
+	for i := 0; i < 300; i++ {
+		mustExec(t, s, `INSERT INTO t VALUES (?, ?, ?)`,
+			types.Int(int64(i)), types.Str([]string{"a", "b", "c"}[i%3]),
+			types.Str(strings.Repeat("x", i%20)))
+	}
+	mustExec(t, s, `CREATE INDEX t_k ON t(k)`)
+	mustExec(t, s, `CREATE HASH INDEX t_v ON t(v)`)
+	mustExec(t, s, `CREATE BITMAP INDEX t_cat ON t(cat)`)
+	mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+	mustExec(t, s, `CREATE TYPE Pt AS OBJECT (x NUMBER, y NUMBER)`)
+
+	// LOB data persists too.
+	lobID, err := db.LOBStore().Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := db.LOBStore().Open(lobID)
+	blob.WriteAt([]byte("persisted lob payload"), 0)
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: reopen; cartridge implementations must be re-registered
+	// (process state), everything else comes back from the snapshot.
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	reg := db2.Registry()
+	if err := reg.RegisterFunction("HasKwFn", hasKwFn); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterFunction("KwScoreFn", kwScoreFn); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &kwMethods{failNext: map[string]bool{}}
+	if err := reg.RegisterMethods("KwIndexMethods", m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterStats("KwStats", kwStats{m: m2}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.NewSession()
+
+	// Table data and built-in indexes.
+	rs := mustQuery(t, s2, `SELECT COUNT(*) FROM t`)
+	if rs.Rows[0][0].Int64() != 300 {
+		t.Fatalf("row count after reopen = %s", rs.Rows[0][0])
+	}
+	rs = mustQuery(t, s2, `SELECT COUNT(*) FROM t WHERE k = 123`)
+	if rs.Rows[0][0].Int64() != 1 {
+		t.Error("b-tree lookup after reopen failed")
+	}
+	ex := mustQuery(t, s2, `EXPLAIN PLAN FOR SELECT k FROM t WHERE k = 123`)
+	if !strings.Contains(ex.Rows[0][0].Text(), "T_K") {
+		t.Errorf("b-tree not used after reopen: %v", ex.Rows)
+	}
+	s2.SetForcedPath(ForceIndexScan)
+	rs = mustQuery(t, s2, `SELECT COUNT(*) FROM t WHERE cat = 'b'`)
+	if rs.Rows[0][0].Int64() != 100 {
+		t.Errorf("bitmap count after reopen = %s", rs.Rows[0][0])
+	}
+	s2.SetForcedPath(ForceAuto)
+
+	// Domain index: the index data table survived, the indextype resolves
+	// against the re-registered methods, scans and maintenance work.
+	s2.SetForcedPath(ForceDomainScan)
+	rs = mustQuery(t, s2, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("domain scan after reopen = %v", rs.Rows)
+	}
+	s2.SetForcedPath(ForceAuto)
+	mustExec(t, s2, `INSERT INTO Docs VALUES (777, 'reopened unix box')`)
+	s2.SetForcedPath(ForceDomainScan)
+	rs = mustQuery(t, s2, `SELECT id FROM Docs WHERE HasKw(body, 'unix') ORDER BY id`)
+	if len(rs.Rows) != 3 {
+		t.Errorf("maintenance after reopen = %v", rs.Rows)
+	}
+	s2.SetForcedPath(ForceAuto)
+
+	// Object type registry.
+	if _, ok := db2.Catalog().TypeDesc("Pt"); !ok {
+		t.Error("object type lost")
+	}
+
+	// LOB contents.
+	blob2, err := db2.LOBStore().Open(lobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 21)
+	blob2.ReadAt(buf, 0)
+	if string(buf) != "persisted lob payload" {
+		t.Errorf("lob after reopen = %q", buf)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.db")
+	// A page-aligned file with no superblock magic must be rejected.
+	junk := make([]byte, 8192)
+	if err := writeFile(path, junk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: path}); err == nil {
+		t.Error("foreign file opened as database")
+	}
+}
+
+func TestCheckpointMakesImageReopenable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.db")
+	db, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE c(v NUMBER)`)
+	mustExec(t, s, `INSERT INTO c VALUES (1), (2)`)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen from the checkpointed image without Close.
+	db2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rs := mustQuery(t, db2.NewSession(), `SELECT COUNT(*) FROM c`)
+	if rs.Rows[0][0].Int64() != 2 {
+		t.Errorf("count after checkpoint-reopen = %s", rs.Rows[0][0])
+	}
+	db.Close()
+}
+
+// writeFile is a test helper.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// runSelect plans and executes a SELECT, returning the materialized
+// result set.
+func (s *Session) runSelect(sel *sql.Select, params []types.Value) (*ResultSet, error) {
+	unlock := s.lockSelect(sel)
+	defer unlock()
+	it, schema, _, err := s.planSelect(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(schema.Cols))
+	for i, c := range schema.Cols {
+		cols[i] = c.Name
+	}
+	rows, err := exec.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]types.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return &ResultSet{Columns: cols, Rows: out}, nil
+}
+
+// Explain returns the access-path decisions for a query as one-column
+// rows, without returning query results.
+func (s *Session) Explain(sel *sql.Select, params []types.Value) (*ResultSet, error) {
+	unlock := s.lockSelect(sel)
+	defer unlock()
+	it, _, descs, err := s.planSelect(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	it.Close()
+	rs := &ResultSet{Columns: []string{"PLAN"}}
+	for _, d := range descs {
+		rs.Rows = append(rs.Rows, []types.Value{types.Str(d)})
+	}
+	return rs, nil
+}
+
+// lockSelect acquires read locks on every table a SELECT references,
+// holding them until the result is drained.
+func (s *Session) lockSelect(sel *sql.Select) func() {
+	var readNames []string
+	for _, tr := range sel.From {
+		readNames = append(readNames, tr.Name)
+	}
+	return s.lockTables(readNames, nil)
+}
+
+// planSelect assembles the full iterator pipeline for a SELECT and
+// returns it with the output schema and the plan description lines.
+func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterator, *exec.Schema, []string, error) {
+	if len(sel.From) == 0 {
+		return nil, nil, nil, fmt.Errorf("engine: SELECT requires FROM")
+	}
+	tbs := make([]*tableBinding, len(sel.From))
+	for i, tr := range sel.From {
+		tb, err := s.bindTable(tr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		tbs[i] = tb
+	}
+	conjuncts := splitConjuncts(sel.Where)
+
+	var it exec.Iterator
+	var schema *exec.Schema
+	var descs []string
+	if len(tbs) == 1 {
+		var path accessPath
+		var err error
+		it, path, err = s.buildTableAccess(tbs[0], conjuncts, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		schema = tbs[0].schema
+		descs = []string{path.desc, fmt.Sprintf("  cost=%.2f estRows=%.1f", path.cost, path.estRows)}
+	} else {
+		var err error
+		it, schema, descs, err = s.planJoin(tbs, conjuncts, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Aggregation stage.
+	hasAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if !item.Star && containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	if sel.Having != nil {
+		hasAgg = true
+	}
+	if hasAgg {
+		var err error
+		it, schema, sel, err = s.buildAggregate(it, schema, sel, params)
+		if err != nil {
+			it.Close()
+			return nil, nil, nil, err
+		}
+		descs = append(descs, "HASH GROUP BY")
+	}
+
+	// Projection list.
+	outSchema := &exec.Schema{}
+	var exprs []exec.Compiled
+	var itemExprs []sql.Expr // for ORDER BY matching (nil for star entries)
+	for i, item := range sel.Items {
+		if item.Star {
+			for _, sc := range schema.Cols {
+				if strings.EqualFold(sc.Name, exec.RowIDColumn) {
+					continue
+				}
+				if item.Table != "" && !strings.EqualFold(sc.Qualifier, item.Table) {
+					continue
+				}
+				cr := sql.ColumnRef{Table: sc.Qualifier, Name: sc.Name}
+				c, err := exec.Compile(cr, schema, s, params)
+				if err != nil {
+					it.Close()
+					return nil, nil, nil, err
+				}
+				exprs = append(exprs, c)
+				itemExprs = append(itemExprs, cr)
+				outSchema.Cols = append(outSchema.Cols, exec.SchemaCol{Name: strings.ToUpper(sc.Name)})
+			}
+			continue
+		}
+		c, err := exec.Compile(item.Expr, schema, s, params)
+		if err != nil {
+			it.Close()
+			return nil, nil, nil, err
+		}
+		exprs = append(exprs, c)
+		itemExprs = append(itemExprs, item.Expr)
+		outSchema.Cols = append(outSchema.Cols, exec.SchemaCol{Name: itemName(item, i)})
+	}
+
+	// ORDER BY keys: match select items/aliases, else hidden columns.
+	type orderRef struct {
+		pos  int
+		desc bool
+	}
+	var orders []orderRef
+	hidden := 0
+	for _, oi := range sel.OrderBy {
+		pos := -1
+		if cr, ok := oi.Expr.(sql.ColumnRef); ok && cr.Table == "" {
+			for j := range outSchema.Cols {
+				if strings.EqualFold(outSchema.Cols[j].Name, cr.Name) {
+					pos = j
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			for j, ie := range itemExprs {
+				if ie != nil && reflect.DeepEqual(ie, oi.Expr) {
+					pos = j
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			if sel.Distinct {
+				it.Close()
+				return nil, nil, nil, fmt.Errorf("engine: ORDER BY expression must appear in the select list with DISTINCT")
+			}
+			c, err := exec.Compile(oi.Expr, schema, s, params)
+			if err != nil {
+				it.Close()
+				return nil, nil, nil, err
+			}
+			exprs = append(exprs, c)
+			pos = len(exprs) - 1
+			outSchema.Cols = append(outSchema.Cols, exec.SchemaCol{Name: fmt.Sprintf("__ORD%d", hidden)})
+			hidden++
+		}
+		orders = append(orders, orderRef{pos: pos, desc: oi.Desc})
+	}
+
+	it = &exec.Project{Child: it, Exprs: exprs}
+	if sel.Distinct {
+		it = &exec.Distinct{Child: it}
+	}
+	if len(orders) > 0 {
+		keys := make([]exec.SortKey, len(orders))
+		for i, o := range orders {
+			pos := o.pos
+			keys[i] = exec.SortKey{
+				Expr: func(r exec.Row) (types.Value, error) { return r[pos], nil },
+				Desc: o.desc,
+			}
+		}
+		it = &exec.Sort{Child: it, Keys: keys}
+		descs = append(descs, "SORT ORDER BY")
+	}
+	if sel.Limit >= 0 {
+		it = &exec.Limit{Child: it, N: sel.Limit}
+	}
+	if hidden > 0 {
+		visible := len(outSchema.Cols) - hidden
+		it = &exec.Project{Child: it, Exprs: identityExprs(visible)}
+		outSchema = &exec.Schema{Cols: outSchema.Cols[:visible]}
+	}
+	return it, outSchema, descs, nil
+}
+
+func identityExprs(n int) []exec.Compiled {
+	out := make([]exec.Compiled, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = func(r exec.Row) (types.Value, error) { return r[i], nil }
+	}
+	return out
+}
+
+func itemName(item sql.SelectItem, i int) string {
+	if item.Alias != "" {
+		return strings.ToUpper(item.Alias)
+	}
+	switch e := item.Expr.(type) {
+	case sql.ColumnRef:
+		return strings.ToUpper(e.Name)
+	case sql.Call:
+		return strings.ToUpper(e.Name)
+	default:
+		return fmt.Sprintf("EXPR%d", i+1)
+	}
+}
+
+// buildAggregate inserts the HashAggregate stage and rewrites the select
+// list, HAVING and ORDER BY to reference its output (G<i>/A<j> columns).
+// It returns the rewritten Select (a copy) to keep the caller's pipeline
+// logic uniform.
+func (s *Session) buildAggregate(it exec.Iterator, schema *exec.Schema, sel *sql.Select, params []types.Value) (exec.Iterator, *exec.Schema, *sql.Select, error) {
+	// Compile group-by expressions against the input schema.
+	groupC := make([]exec.Compiled, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		c, err := exec.Compile(g, schema, s, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupC[i] = c
+	}
+	// Rewrite select items, HAVING, and ORDER BY; collect aggregate specs.
+	var specs []sql.Call
+	out := *sel
+	out.Items = make([]sql.SelectItem, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, nil, nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregation")
+		}
+		ni := item
+		if ni.Alias == "" {
+			// Preserve the user-visible column name (COUNT, SUM, dept, …)
+			// across the rewrite to internal aggregate columns.
+			ni.Alias = itemName(item, i)
+		}
+		ni.Expr = rewriteForAgg(item.Expr, sel.GroupBy, &specs)
+		out.Items[i] = ni
+	}
+	var havingRewritten sql.Expr
+	if sel.Having != nil {
+		havingRewritten = rewriteForAgg(sel.Having, sel.GroupBy, &specs)
+	}
+	out.OrderBy = make([]sql.OrderItem, len(sel.OrderBy))
+	for i, oi := range sel.OrderBy {
+		out.OrderBy[i] = sql.OrderItem{Expr: rewriteForAgg(oi.Expr, sel.GroupBy, &specs), Desc: oi.Desc}
+	}
+	out.GroupBy = nil
+	out.Having = nil
+
+	// Build aggregate specs against the input schema.
+	aggSpecs := make([]exec.AggSpec, len(specs))
+	for j, c := range specs {
+		kind := aggFns[strings.ToUpper(c.Name)]
+		if c.Star {
+			if kind != exec.AggCount {
+				return nil, nil, nil, fmt.Errorf("engine: %s(*) is not valid", c.Name)
+			}
+			aggSpecs[j] = exec.AggSpec{Kind: exec.AggCountStar}
+			continue
+		}
+		if len(c.Args) != 1 {
+			return nil, nil, nil, fmt.Errorf("engine: aggregate %s takes one argument", c.Name)
+		}
+		ac, err := exec.Compile(c.Args[0], schema, s, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		aggSpecs[j] = exec.AggSpec{Kind: kind, Arg: ac}
+	}
+
+	agg := &exec.HashAggregate{Child: it, GroupBy: groupC, Specs: aggSpecs}
+	aggSchema := &exec.Schema{}
+	for i := range sel.GroupBy {
+		aggSchema.Cols = append(aggSchema.Cols, exec.SchemaCol{Name: fmt.Sprintf("G%d", i)})
+	}
+	for j := range specs {
+		aggSchema.Cols = append(aggSchema.Cols, exec.SchemaCol{Name: fmt.Sprintf("A%d", j)})
+	}
+	var result exec.Iterator = agg
+	if havingRewritten != nil {
+		pred, err := exec.Compile(havingRewritten, aggSchema, s, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		result = &exec.Filter{Child: result, Pred: pred}
+	}
+	return result, aggSchema, &out, nil
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"io"
+
+	"repro/internal/loblib"
+	"repro/internal/txn"
+)
+
+// txLOBStore is the transactional view of the database LOB store handed
+// to indextype callbacks. Every mutation records an undo entry on the
+// session's current transaction, so LOB-resident index data observes the
+// same transactional boundaries as the base table (§2.5). Reads pass
+// through unchanged.
+type txLOBStore struct {
+	s *Session
+}
+
+func (t txLOBStore) record(u txn.Undoer) {
+	if t.s.tx != nil && t.s.tx.State() == txn.Active {
+		t.s.tx.Record(u)
+	}
+}
+
+// Create implements loblib.Store.
+func (t txLOBStore) Create() (int64, error) {
+	id, err := t.s.db.lobs.Create()
+	if err != nil {
+		return 0, err
+	}
+	t.record(txn.UndoFunc(func() error { return t.s.db.lobs.Delete(id) }))
+	return id, nil
+}
+
+// Open implements loblib.Store.
+func (t txLOBStore) Open(id int64) (loblib.Blob, error) {
+	b, err := t.s.db.lobs.Open(id)
+	if err != nil {
+		return nil, err
+	}
+	return txBlob{store: t, inner: b}, nil
+}
+
+// Delete implements loblib.Store. Deleting a LOB inside a transaction is
+// irreversible at this layer, so it is deferred to commit: the LOB
+// remains readable until the transaction resolves.
+func (t txLOBStore) Delete(id int64) error {
+	if t.s.tx != nil && t.s.tx.State() == txn.Active {
+		t.s.tx.OnCommit(func() { t.s.db.lobs.Delete(id) })
+		return nil
+	}
+	return t.s.db.lobs.Delete(id)
+}
+
+// Stats implements loblib.Store.
+func (t txLOBStore) Stats() loblib.Stats { return t.s.db.lobs.Stats() }
+
+// ResetStats implements loblib.Store.
+func (t txLOBStore) ResetStats() { t.s.db.lobs.ResetStats() }
+
+// txBlob wraps a LOB handle, logging before-images for undo.
+type txBlob struct {
+	store txLOBStore
+	inner loblib.Blob
+}
+
+// ReadAt implements loblib.Blob.
+func (b txBlob) ReadAt(p []byte, off int64) (int, error) { return b.inner.ReadAt(p, off) }
+
+// Length implements loblib.Blob.
+func (b txBlob) Length() (int64, error) { return b.inner.Length() }
+
+// WriteAt implements loblib.Blob: capture the overwritten range and the
+// old length so the write can be reversed.
+func (b txBlob) WriteAt(p []byte, off int64) (int, error) {
+	oldLen, err := b.inner.Length()
+	if err != nil {
+		return 0, err
+	}
+	var before []byte
+	if off < oldLen {
+		n := int64(len(p))
+		if off+n > oldLen {
+			n = oldLen - off
+		}
+		before = make([]byte, n)
+		if _, err := b.inner.ReadAt(before, off); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	n, err := b.inner.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	inner := b.inner
+	b.store.record(txn.UndoFunc(func() error {
+		if len(before) > 0 {
+			if _, err := inner.WriteAt(before, off); err != nil {
+				return err
+			}
+		}
+		return inner.Truncate(oldLen)
+	}))
+	return n, nil
+}
+
+// Truncate implements loblib.Blob, capturing the truncated tail.
+func (b txBlob) Truncate(size int64) error {
+	oldLen, err := b.inner.Length()
+	if err != nil {
+		return err
+	}
+	var tail []byte
+	if size < oldLen {
+		tail = make([]byte, oldLen-size)
+		if _, err := b.inner.ReadAt(tail, size); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	if err := b.inner.Truncate(size); err != nil {
+		return err
+	}
+	inner := b.inner
+	b.store.record(txn.UndoFunc(func() error {
+		if len(tail) > 0 {
+			if _, err := inner.WriteAt(tail, size); err != nil {
+				return err
+			}
+		}
+		return inner.Truncate(oldLen)
+	}))
+	return nil
+}

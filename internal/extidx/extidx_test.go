@@ -1,0 +1,176 @@
+package extidx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestIndexInfoDataTableName(t *testing.T) {
+	ii := IndexInfo{IndexName: "ResumeIdx"}
+	if got := ii.DataTableName("I"); got != "DR$RESUMEIDX$I" {
+		t.Errorf("DataTableName = %q", got)
+	}
+	if got := ii.DataTableName(""); got != "DR$RESUMEIDX" {
+		t.Errorf("DataTableName empty = %q", got)
+	}
+}
+
+func TestOperatorCallPredicates(t *testing.T) {
+	eq1 := OperatorCall{Name: "Contains", Relop: CmpEQ, Bound: types.Num(1)}
+	if !eq1.WantsTrue() {
+		t.Error("=1 should want true")
+	}
+	if (OperatorCall{Relop: CmpEQ, Bound: types.Num(0)}).WantsTrue() {
+		t.Error("=0 should not want true")
+	}
+	if (OperatorCall{Relop: CmpLE, Bound: types.Num(1)}).WantsTrue() {
+		t.Error("<=1 should not want true")
+	}
+
+	cases := []struct {
+		relop CompareOp
+		bound float64
+		v     float64
+		want  bool
+	}{
+		{CmpEQ, 1, 1, true}, {CmpEQ, 1, 0, false},
+		{CmpLT, 5, 4, true}, {CmpLT, 5, 5, false},
+		{CmpLE, 5, 5, true}, {CmpLE, 5, 6, false},
+		{CmpGT, 5, 6, true}, {CmpGT, 5, 5, false},
+		{CmpGE, 5, 5, true}, {CmpGE, 5, 4, false},
+	}
+	for _, c := range cases {
+		oc := OperatorCall{Relop: c.relop, Bound: types.Num(c.bound)}
+		if got := oc.AcceptsReturn(types.Num(c.v)); got != c.want {
+			t.Errorf("AcceptsReturn(%v %s %v) = %v", c.v, c.relop, c.bound, got)
+		}
+	}
+	// NULL return never satisfies a bound.
+	if (OperatorCall{Relop: CmpEQ, Bound: types.Num(1)}).AcceptsReturn(types.Null()) {
+		t.Error("NULL accepted")
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	want := map[CompareOp]string{CmpEQ: "=", CmpLT: "<", CmpLE: "<=", CmpGT: ">", CmpGE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestCallbackModeString(t *testing.T) {
+	for m, s := range map[CallbackMode]string{
+		ModeDefinition: "definition", ModeMaintenance: "maintenance", ModeScan: "scan",
+	} {
+		if m.String() != s {
+			t.Errorf("mode %d = %q", m, m.String())
+		}
+	}
+}
+
+func TestCostTotal(t *testing.T) {
+	c := Cost{IO: 10, CPU: 2000}
+	if c.Total() != 12 {
+		t.Errorf("Total = %v", c.Total())
+	}
+}
+
+type fakeMethods struct{ IndexMethods }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterMethods("TextMethods", fakeMethods{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterMethods("textmethods", fakeMethods{}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	if _, ok := r.Methods("TEXTMETHODS"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := r.Methods("missing"); ok {
+		t.Error("phantom methods")
+	}
+
+	fn := Function(func(args []types.Value) (types.Value, error) { return types.Num(1), nil })
+	if err := r.RegisterFunction("f", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterFunction("F", fn); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	got, ok := r.Function("f")
+	if !ok {
+		t.Fatal("function lookup failed")
+	}
+	if v, _ := got(nil); v.Float() != 1 {
+		t.Error("function identity lost")
+	}
+}
+
+func TestWorkspaceLifecycle(t *testing.T) {
+	w := NewWorkspace()
+	h1 := w.Alloc("state-1")
+	h2 := w.Alloc(42)
+	if h1.H == h2.H {
+		t.Fatal("handle collision")
+	}
+	v, err := w.Get(h1)
+	if err != nil || v != "state-1" {
+		t.Errorf("Get = %v, %v", v, err)
+	}
+	if err := w.Set(h1, "state-1b"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = w.Get(h1)
+	if v != "state-1b" {
+		t.Error("Set lost")
+	}
+	if w.Live() != 2 || w.HighWater != 2 {
+		t.Errorf("Live=%d HighWater=%d", w.Live(), w.HighWater)
+	}
+	w.Free(h1)
+	if _, err := w.Get(h1); err == nil {
+		t.Error("freed handle readable")
+	}
+	if err := w.Set(h1, "x"); err == nil {
+		t.Error("freed handle settable")
+	}
+	w.Free(h1) // double free is a no-op
+	if w.Live() != 1 {
+		t.Errorf("Live = %d", w.Live())
+	}
+}
+
+func TestWorkspaceConcurrent(t *testing.T) {
+	w := NewWorkspace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := w.Alloc(fmt.Sprintf("g%d-%d", g, i))
+				if _, err := w.Get(h); err != nil {
+					t.Error(err)
+					return
+				}
+				w.Free(h)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Live() != 0 {
+		t.Errorf("leaked %d entries", w.Live())
+	}
+}
+
+func TestScanStateKinds(t *testing.T) {
+	var _ ScanState = StateValue{V: 1}
+	var _ ScanState = StateHandle{H: 1}
+}

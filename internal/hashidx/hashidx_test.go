@@ -1,0 +1,180 @@
+package hashidx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newIdx(t testing.TB) (*Index, *storage.Pager) {
+	t.Helper()
+	p := storage.NewPager(storage.NewMemBackend(), 512)
+	x, err := Create(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, p
+}
+
+func TestInsertLookup(t *testing.T) {
+	x, _ := newIdx(t)
+	if err := x.Insert([]byte("alice"), []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	x.Insert([]byte("alice"), []byte("r2"))
+	x.Insert([]byte("bob"), []byte("r3"))
+
+	vals, err := x.Lookup([]byte("alice"))
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("Lookup(alice) = %v, %v", vals, err)
+	}
+	vals, _ = x.Lookup([]byte("carol"))
+	if len(vals) != 0 {
+		t.Errorf("Lookup(carol) = %v", vals)
+	}
+	if n, _ := x.Count(); n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestDeleteExactPair(t *testing.T) {
+	x, _ := newIdx(t)
+	x.Insert([]byte("k"), []byte("v1"))
+	x.Insert([]byte("k"), []byte("v2"))
+	ok, err := x.Delete([]byte("k"), []byte("v1"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if ok, _ := x.Delete([]byte("k"), []byte("v1")); ok {
+		t.Error("second delete of same pair succeeded")
+	}
+	vals, _ := x.Lookup([]byte("k"))
+	if len(vals) != 1 || string(vals[0]) != "v2" {
+		t.Errorf("after delete, Lookup = %v", vals)
+	}
+}
+
+func TestManyKeysAcrossBuckets(t *testing.T) {
+	x, _ := newIdx(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := x.Insert([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 1, 999, n - 1} {
+		vals, err := x.Lookup([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil || len(vals) != 1 || string(vals[0]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Lookup(key-%d) = %v, %v", i, vals, err)
+		}
+	}
+}
+
+func TestTruncateAndReuse(t *testing.T) {
+	x, _ := newIdx(t)
+	for i := 0; i < 500; i++ {
+		x.Insert([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if err := x.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := x.Count(); n != 0 {
+		t.Errorf("Count after truncate = %d", n)
+	}
+	x.Insert([]byte("fresh"), []byte("v"))
+	if vals, _ := x.Lookup([]byte("fresh")); len(vals) != 1 {
+		t.Error("index unusable after truncate")
+	}
+}
+
+func TestOpenReattach(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 512)
+	x, err := Create(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		x.Insert([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	x2, err := Open(p, x.DirPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := x2.Lookup([]byte("k500"))
+	if err != nil || len(vals) != 1 || string(vals[0]) != "v500" {
+		t.Fatalf("reopened Lookup = %v, %v", vals, err)
+	}
+}
+
+func TestCreateRejectsHugeDirectory(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 64)
+	if _, err := Create(p, 1<<20); err == nil {
+		t.Error("oversized directory accepted")
+	}
+}
+
+func TestRandomizedModel(t *testing.T) {
+	x, _ := newIdx(t)
+	rng := rand.New(rand.NewSource(5))
+	model := map[string]map[string]int{} // key -> val -> count
+	key := func() string { return fmt.Sprintf("k%d", rng.Intn(200)) }
+	val := func() string { return fmt.Sprintf("v%d", rng.Intn(10)) }
+	for step := 0; step < 4000; step++ {
+		k, v := key(), val()
+		switch rng.Intn(3) {
+		case 0, 1:
+			if err := x.Insert([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			if model[k] == nil {
+				model[k] = map[string]int{}
+			}
+			model[k][v]++
+		case 2:
+			ok, err := x.Delete([]byte(k), []byte(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := model[k][v] > 0
+			if ok != want {
+				t.Fatalf("step %d: Delete(%s,%s) = %v, want %v", step, k, v, ok, want)
+			}
+			if ok {
+				model[k][v]--
+			}
+		}
+		if step%500 == 499 {
+			for k, vs := range model {
+				got, err := x.Lookup([]byte(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts := map[string]int{}
+				for _, g := range got {
+					counts[string(g)]++
+				}
+				for v, want := range vs {
+					if counts[v] != want {
+						t.Fatalf("step %d: key %s val %s count %d, want %d", step, k, v, counts[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHashLookup(b *testing.B) {
+	p := storage.NewPager(storage.NewMemBackend(), 4096)
+	x, _ := Create(p, 1024)
+	for i := 0; i < 100000; i++ {
+		x.Insert([]byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vals, _ := x.Lookup([]byte(fmt.Sprintf("key-%d", i%100000))); len(vals) != 1 {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package iot implements index-organized tables: tables stored entirely
+// inside a B+-tree, keyed by their primary key. The paper singles IOTs out
+// as the storage structure most cartridges choose for domain index data
+// ("index-organized tables are commonly used as index data stores", §2.5);
+// the text cartridge's inverted index lives in one.
+//
+// Rows are addressed by primary key, not RID; secondary access is by
+// ordered range scans over the key prefix.
+package iot
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Table is an index-organized table with nkey leading key columns.
+type Table struct {
+	tree *btree.BTree
+	nkey int
+}
+
+// Create allocates an empty IOT whose first nkey columns form the primary
+// key.
+func Create(p *storage.Pager, nkey int) (*Table, error) {
+	if nkey < 1 {
+		return nil, fmt.Errorf("iot: need at least one key column")
+	}
+	tr, err := btree.Create(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{tree: tr, nkey: nkey}, nil
+}
+
+// Open reattaches to an IOT created earlier.
+func Open(p *storage.Pager, meta storage.PageID, nkey int) (*Table, error) {
+	tr, err := btree.Open(p, meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{tree: tr, nkey: nkey}, nil
+}
+
+// MetaPage identifies the table for Open (persisted by the catalog).
+func (t *Table) MetaPage() storage.PageID { return t.tree.MetaPage() }
+
+// KeyColumns returns the number of leading key columns.
+func (t *Table) KeyColumns() int { return t.nkey }
+
+func (t *Table) keyOf(row []types.Value) ([]byte, error) {
+	if len(row) < t.nkey {
+		return nil, fmt.Errorf("iot: row has %d columns, key needs %d", len(row), t.nkey)
+	}
+	return types.CompositeKey(row[:t.nkey]...), nil
+}
+
+// Put inserts or replaces the row with its primary key.
+func (t *Table) Put(row []types.Value) error {
+	key, err := t.keyOf(row)
+	if err != nil {
+		return err
+	}
+	return t.tree.Set(key, types.EncodeRow(nil, row))
+}
+
+// Get returns the row with the given key column values.
+func (t *Table) Get(key ...types.Value) ([]types.Value, bool, error) {
+	if len(key) != t.nkey {
+		return nil, false, fmt.Errorf("iot: got %d key values, want %d", len(key), t.nkey)
+	}
+	raw, ok, err := t.tree.Get(types.CompositeKey(key...))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, _, err := types.DecodeRow(raw)
+	return row, err == nil, err
+}
+
+// Delete removes the row with the given key; it reports whether it
+// existed.
+func (t *Table) Delete(key ...types.Value) (bool, error) {
+	if len(key) != t.nkey {
+		return false, fmt.Errorf("iot: got %d key values, want %d", len(key), t.nkey)
+	}
+	return t.tree.Delete(types.CompositeKey(key...))
+}
+
+// ScanPrefix iterates, in key order, over every row whose leading key
+// columns equal prefix (an empty prefix scans the whole table). fn
+// returning false stops the scan.
+func (t *Table) ScanPrefix(prefix []types.Value, fn func(row []types.Value) (bool, error)) error {
+	var start, bound []byte
+	if len(prefix) > 0 {
+		start = types.CompositeKey(prefix...)
+		bound = start
+	}
+	for it := t.tree.Seek(start); it.Valid(); it.Next() {
+		if bound != nil && !bytes.HasPrefix(it.Key(), bound) {
+			break
+		}
+		row, _, err := types.DecodeRow(it.Value())
+		if err != nil {
+			return err
+		}
+		keep, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanRange iterates over rows with first-key-column values in
+// [lo, hi] (either bound may be NULL-kind zero Value for open ends).
+func (t *Table) ScanRange(lo, hi types.Value, fn func(row []types.Value) (bool, error)) error {
+	var start []byte
+	if !lo.IsNull() {
+		start = types.EncodeKey(nil, lo)
+	}
+	for it := t.tree.Seek(start); it.Valid(); it.Next() {
+		row, _, err := types.DecodeRow(it.Value())
+		if err != nil {
+			return err
+		}
+		if !hi.IsNull() {
+			if c, ok := types.Compare(row[0], hi); ok && c > 0 {
+				break
+			}
+		}
+		keep, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of rows.
+func (t *Table) Count() (int, error) { return t.tree.Count() }
+
+// Truncate is not supported in place; the catalog drops and recreates the
+// tree. Provided here for API symmetry with heaps.
+func (t *Table) Truncate(p *storage.Pager) error {
+	tr, err := btree.Create(p)
+	if err != nil {
+		return err
+	}
+	t.tree = tr
+	return nil
+}

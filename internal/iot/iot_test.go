@@ -1,0 +1,163 @@
+package iot
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func newIOT(t testing.TB, nkey int) (*Table, *storage.Pager) {
+	t.Helper()
+	p := storage.NewPager(storage.NewMemBackend(), 512)
+	tbl, err := Create(p, nkey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, p
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tbl, _ := newIOT(t, 1)
+	row := []types.Value{types.Str("alice"), types.Int(30)}
+	if err := tbl.Put(row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := tbl.Get(types.Str("alice"))
+	if err != nil || !ok || got[1].Int64() != 30 {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	// Put with same key replaces.
+	tbl.Put([]types.Value{types.Str("alice"), types.Int(31)})
+	got, _, _ = tbl.Get(types.Str("alice"))
+	if got[1].Int64() != 31 {
+		t.Error("Put did not replace")
+	}
+	ok, err = tbl.Delete(types.Str("alice"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok, _ := tbl.Get(types.Str("alice")); ok {
+		t.Error("row present after delete")
+	}
+}
+
+func TestCompositeKeyPrefixScan(t *testing.T) {
+	// Inverted-index shape: (token, docid) -> freq. This is exactly how
+	// the text cartridge stores occurrence lists.
+	tbl, _ := newIOT(t, 2)
+	for doc := 1; doc <= 5; doc++ {
+		for _, tok := range []string{"oracle", "unix", "java"} {
+			if err := tbl.Put([]types.Value{types.Str(tok), types.Int(int64(doc)), types.Int(int64(doc * 10))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var docs []int64
+	err := tbl.ScanPrefix([]types.Value{types.Str("oracle")}, func(row []types.Value) (bool, error) {
+		docs = append(docs, row[1].Int64())
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("prefix scan found %d docs, want 5", len(docs))
+	}
+	for i, d := range docs {
+		if d != int64(i+1) {
+			t.Errorf("docs[%d] = %d (should be key-ordered)", i, d)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.ScanPrefix([]types.Value{types.Str("unix")}, func(row []types.Value) (bool, error) {
+		n++
+		return n < 2, nil
+	})
+	if n != 2 {
+		t.Errorf("early-stopped scan visited %d", n)
+	}
+	// No prefix bleed: "java" scan must not see "oracle" rows.
+	tbl.ScanPrefix([]types.Value{types.Str("java")}, func(row []types.Value) (bool, error) {
+		if row[0].Text() != "java" {
+			t.Errorf("prefix scan leaked row for %s", row[0].Text())
+		}
+		return true, nil
+	})
+}
+
+func TestScanRange(t *testing.T) {
+	tbl, _ := newIOT(t, 1)
+	for i := 0; i < 100; i++ {
+		tbl.Put([]types.Value{types.Int(int64(i)), types.Str(fmt.Sprint(i))})
+	}
+	var got []int64
+	err := tbl.ScanRange(types.Int(10), types.Int(19), func(row []types.Value) (bool, error) {
+		got = append(got, row[0].Int64())
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Open-ended scans.
+	n := 0
+	tbl.ScanRange(types.Null(), types.Null(), func([]types.Value) (bool, error) { n++; return true, nil })
+	if n != 100 {
+		t.Errorf("full range scan = %d rows", n)
+	}
+}
+
+func TestFullTableScanOrder(t *testing.T) {
+	tbl, _ := newIOT(t, 1)
+	for i := 999; i >= 0; i-- {
+		tbl.Put([]types.Value{types.Int(int64(i))})
+	}
+	prev := int64(-1)
+	tbl.ScanPrefix(nil, func(row []types.Value) (bool, error) {
+		if row[0].Int64() <= prev {
+			t.Fatalf("out of order: %d after %d", row[0].Int64(), prev)
+		}
+		prev = row[0].Int64()
+		return true, nil
+	})
+	if n, _ := tbl.Count(); n != 1000 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestKeyArityErrors(t *testing.T) {
+	tbl, _ := newIOT(t, 2)
+	if err := tbl.Put([]types.Value{types.Str("only-one")}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, _, err := tbl.Get(types.Str("x")); err == nil {
+		t.Error("short key accepted by Get")
+	}
+	if _, err := tbl.Delete(types.Str("x")); err == nil {
+		t.Error("short key accepted by Delete")
+	}
+	if _, err := Create(storage.NewPager(storage.NewMemBackend(), 64), 0); err == nil {
+		t.Error("zero key columns accepted")
+	}
+}
+
+func TestOpenReattach(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 512)
+	tbl, _ := Create(p, 1)
+	for i := 0; i < 3000; i++ {
+		tbl.Put([]types.Value{types.Int(int64(i)), types.Str("payload")})
+	}
+	tbl2, err := Open(p, tbl.MetaPage(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err := tbl2.Get(types.Int(2500))
+	if err != nil || !ok || row[1].Text() != "payload" {
+		t.Fatalf("reopened Get = %v, %v, %v", row, ok, err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package rtree implements an in-memory R-tree (Guttman 1984, the paper's
+// [Gut84] reference) over 2-D rectangles with quadratic node splitting.
+// The spatial cartridge offers it as an alternative indextype whose index
+// data lives *outside* the database — the configuration §5 of the paper
+// discusses, where transactional consistency must be restored through
+// database events rather than inherited from the engine.
+package rtree
+
+import "math"
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Intersects reports whether two rectangles share any point.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether o lies fully inside r.
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && o.MaxX <= r.MaxX && r.MinY <= o.MinY && o.MaxY <= r.MaxY
+}
+
+// Union returns the bounding rectangle of both.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX), MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX), MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+const (
+	maxEntries = 16
+	minEntries = maxEntries / 4
+)
+
+type entry struct {
+	rect  Rect
+	child *node // nil for leaf entries
+	id    int64 // valid for leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) bbox() Rect {
+	bb := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		bb = bb.Union(e.rect)
+	}
+	return bb
+}
+
+// Tree is an R-tree mapping rectangles to int64 ids. It is not safe for
+// concurrent mutation.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{leaf: true}} }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds (rect, id). Duplicates are stored as given.
+func (t *Tree) Insert(r Rect, id int64) {
+	split := t.insert(t.root, entry{rect: r, id: id})
+	if split != nil {
+		old := t.root
+		t.root = &node{leaf: false, entries: []entry{
+			{rect: old.bbox(), child: old},
+			{rect: split.bbox(), child: split},
+		}}
+	}
+	t.size++
+}
+
+func (t *Tree) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return n.split()
+		}
+		return nil
+	}
+	// Choose the subtree with least enlargement, ties by area.
+	best := 0
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, c := range n.entries {
+		enl := c.rect.Union(e.rect).Area() - c.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && c.rect.Area() < bestArea) {
+			best, bestEnl, bestArea = i, enl, c.rect.Area()
+		}
+	}
+	split := t.insert(n.entries[best].child, e)
+	n.entries[best].rect = n.entries[best].child.bbox()
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: split.bbox(), child: split})
+		if len(n.entries) > maxEntries {
+			return n.split()
+		}
+	}
+	return nil
+}
+
+// split performs Guttman's quadratic split, leaving one half in n and
+// returning the other half as a new node.
+func (n *node) split() *node {
+	// Pick the two seeds wasting the most area together.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(n.entries); i++ {
+		for j := i + 1; j < len(n.entries); j++ {
+			d := n.entries[i].rect.Union(n.entries[j].rect).Area() -
+				n.entries[i].rect.Area() - n.entries[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []entry{n.entries[s1]}
+	g2 := []entry{n.entries[s2]}
+	bb1, bb2 := n.entries[s1].rect, n.entries[s2].rect
+	var rest []entry
+	for i, e := range n.entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Forced assignment when a group must absorb the remainder.
+		if len(g1)+len(rest) == minEntries {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				bb1 = bb1.Union(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) == minEntries {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				bb2 = bb2.Union(e.rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestIdx, bestDiff, toG1 := 0, -1.0, true
+		for i, e := range rest {
+			d1 := bb1.Union(e.rect).Area() - bb1.Area()
+			d2 := bb2.Union(e.rect).Area() - bb2.Area()
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestDiff, bestIdx, toG1 = diff, i, d1 < d2
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if toG1 {
+			g1 = append(g1, e)
+			bb1 = bb1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			bb2 = bb2.Union(e.rect)
+		}
+	}
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// Search calls fn for every stored id whose rectangle intersects q; fn
+// returning false stops the search.
+func (t *Tree) Search(q Rect, fn func(id int64, r Rect) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *node, q Rect, fn func(int64, Rect) bool) bool {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.id, e.rect) {
+				return false
+			}
+		} else if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchIDs is a convenience wrapper returning all intersecting ids.
+func (t *Tree) SearchIDs(q Rect) []int64 {
+	var out []int64
+	t.Search(q, func(id int64, _ Rect) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Delete removes one entry matching (rect, id); it reports whether a
+// match was found. Underflowed nodes are left in place (their entries are
+// still valid), matching the logical-delete strategy of the engine's
+// B-tree.
+func (t *Tree) Delete(r Rect, id int64) bool {
+	if t.delete(t.root, r, id) {
+		t.size--
+		// Shrink the root if it has a single child.
+		for !t.root.leaf && len(t.root.entries) == 1 {
+			t.root = t.root.entries[0].child
+		}
+		return true
+	}
+	return false
+}
+
+func (t *Tree) delete(n *node, r Rect, id int64) bool {
+	for i, e := range n.entries {
+		if !e.rect.Intersects(r) {
+			continue
+		}
+		if n.leaf {
+			if e.id == id && e.rect == r {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+			continue
+		}
+		if t.delete(e.child, r, id) {
+			if len(e.child.entries) > 0 {
+				n.entries[i].rect = e.child.bbox()
+			} else {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}

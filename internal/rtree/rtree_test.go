@@ -1,0 +1,160 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRectOps(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	c := Rect{11, 11, 12, 12}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+	if !a.Contains(Rect{1, 1, 2, 2}) || a.Contains(b) {
+		t.Error("Contains wrong")
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Errorf("Union = %+v", u)
+	}
+	if a.Area() != 100 {
+		t.Errorf("Area = %v", a.Area())
+	}
+	// Touching edges count as intersecting (closed rectangles).
+	if !a.Intersects(Rect{10, 0, 20, 10}) {
+		t.Error("edge touch should intersect")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	tr.Insert(Rect{0, 0, 1, 1}, 1)
+	tr.Insert(Rect{2, 2, 3, 3}, 2)
+	tr.Insert(Rect{0.5, 0.5, 2.5, 2.5}, 3)
+	ids := tr.SearchIDs(Rect{0.9, 0.9, 1.1, 1.1})
+	if len(ids) != 2 {
+		t.Errorf("search = %v", ids)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchIDs(Rect{50, 50, 60, 60}); len(got) != 0 {
+		t.Errorf("empty region returned %v", got)
+	}
+}
+
+func bruteSearch(rects map[int64]Rect, q Rect) map[int64]bool {
+	out := map[int64]bool{}
+	for id, r := range rects {
+		if r.Intersects(q) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func randRect(rng *rand.Rand, maxSize float64) Rect {
+	x := rng.Float64() * 100
+	y := rng.Float64() * 100
+	return Rect{x, y, x + rng.Float64()*maxSize, y + rng.Float64()*maxSize}
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New()
+	model := map[int64]Rect{}
+	var nextID int64 = 1
+	for step := 0; step < 4000; step++ {
+		switch {
+		case step%5 != 4 || len(model) == 0: // insert
+			r := randRect(rng, 10)
+			tr.Insert(r, nextID)
+			model[nextID] = r
+			nextID++
+		default: // delete random existing
+			for id, r := range model {
+				if !tr.Delete(r, id) {
+					t.Fatalf("step %d: delete of present entry failed", step)
+				}
+				delete(model, id)
+				break
+			}
+		}
+		if step%200 == 199 {
+			q := randRect(rng, 25)
+			want := bruteSearch(model, q)
+			got := tr.SearchIDs(q)
+			gotSet := map[int64]bool{}
+			for _, id := range got {
+				if gotSet[id] {
+					t.Fatalf("step %d: duplicate id %d in search", step, id)
+				}
+				gotSet[id] = true
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("step %d: search found %d, want %d", step, len(gotSet), len(want))
+			}
+			for id := range want {
+				if !gotSet[id] {
+					t.Fatalf("step %d: missing id %d", step, id)
+				}
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Errorf("Len = %d, model %d", tr.Len(), len(model))
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	tr := New()
+	r := Rect{1, 1, 2, 2}
+	tr.Insert(r, 7)
+	if tr.Delete(Rect{1, 1, 2, 3}, 7) {
+		t.Error("deleted with mismatched rect")
+	}
+	if tr.Delete(r, 8) {
+		t.Error("deleted with mismatched id")
+	}
+	if !tr.Delete(r, 7) {
+		t.Error("delete of exact entry failed")
+	}
+	if tr.Delete(r, 7) {
+		t.Error("double delete succeeded")
+	}
+	// Tree stays usable after emptying.
+	tr.Insert(r, 9)
+	if got := tr.SearchIDs(r); len(got) != 1 || got[0] != 9 {
+		t.Errorf("after reinsert: %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(Rect{0, 0, 1, 1}, i)
+	}
+	n := 0
+	tr.Search(Rect{0, 0, 1, 1}, func(int64, Rect) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := int64(0); i < 50000; i++ {
+		tr.Insert(randRect(rng, 2), i)
+	}
+	q := Rect{40, 40, 45, 45}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SearchIDs(q)
+	}
+}

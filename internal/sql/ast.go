@@ -1,0 +1,279 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed expression.
+type Expr interface{ expr() }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Literal is a constant value.
+type Literal struct{ Value types.Value }
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct{ Table, Name string }
+
+// Bind is a bind parameter (? positional, or :name).
+type Bind struct {
+	Pos  int    // 0-based position among binds
+	Name string // without colon; "" for positional ?
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// Binary is a binary operation: arithmetic (+ - * /), comparison
+// (= != < <= > >=), logic (AND OR), LIKE, or string concat (||).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Between is x BETWEEN lo AND hi (inclusive).
+type Between struct {
+	X      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// InList is x IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Call is a function call, a user-defined operator invocation, or an
+// aggregate. The parser cannot distinguish functions from operators; the
+// planner resolves the name against the catalog.
+type Call struct {
+	Name string
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (Literal) expr()   {}
+func (ColumnRef) expr() {}
+func (Bind) expr()      {}
+func (Unary) expr()     {}
+func (Binary) expr()    {}
+func (Between) expr()   {}
+func (InList) expr()    {}
+func (IsNull) expr()    {}
+func (Call) expr()      {}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// SelectItem is one entry of a select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool   // bare *
+	Table string // t.* when Star and Table set
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement (single table or comma-join).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// ---------------------------------------------------------------------------
+// DML
+
+// Insert is INSERT INTO t [(cols)] VALUES (...), (...), ...
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Update is UPDATE t SET c=e, ... [WHERE p].
+type Update struct {
+	Table string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+// Delete is DELETE FROM t [WHERE p].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+
+// ColumnDef is one column of CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string // raw type name: NUMBER, VARCHAR2, or an object/array type
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// TruncateTable is TRUNCATE TABLE name.
+type TruncateTable struct{ Name string }
+
+// IndexKind distinguishes the built-in index schemes and domain indexes.
+type IndexKind int
+
+// Index kinds.
+const (
+	IndexBTree IndexKind = iota
+	IndexHash
+	IndexBitmap
+	IndexDomain
+)
+
+// CreateIndex is CREATE [BITMAP|HASH|UNIQUE] INDEX n ON t(col)
+// [INDEXTYPE IS it [PARAMETERS ('...')]].
+type CreateIndex struct {
+	Name      string
+	Table     string
+	Column    string
+	Kind      IndexKind
+	Unique    bool
+	IndexType string // for IndexDomain
+	Params    string
+}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+// AlterIndex is ALTER INDEX name PARAMETERS ('...') | REBUILD.
+type AlterIndex struct {
+	Name    string
+	Params  string
+	Rebuild bool
+}
+
+// OperatorBinding is one BINDING (argtypes) RETURN type USING func clause.
+type OperatorBinding struct {
+	ArgTypes   []string
+	ReturnType string
+	FuncName   string
+}
+
+// CreateOperator is the paper's CREATE OPERATOR statement.
+type CreateOperator struct {
+	Name        string
+	Bindings    []OperatorBinding
+	AncillaryTo string // non-empty for ancillary operators such as Score
+}
+
+// DropOperator is DROP OPERATOR name.
+type DropOperator struct{ Name string }
+
+// OperatorSig names an operator with its argument types, as listed in
+// CREATE INDEXTYPE ... FOR op(t1, t2).
+type OperatorSig struct {
+	Name     string
+	ArgTypes []string
+}
+
+// CreateIndexType is the paper's CREATE INDEXTYPE statement. The USING
+// clause names an IndexMethods implementation registered with the engine
+// (the Go analogue of the ODCIIndex object type).
+type CreateIndexType struct {
+	Name    string
+	For     []OperatorSig
+	Using   string
+	StatsBy string // optional WITH STATS name
+}
+
+// DropIndexType is DROP INDEXTYPE name.
+type DropIndexType struct{ Name string }
+
+// CreateType is CREATE TYPE name AS OBJECT (attr type, ...).
+type CreateType struct {
+	Name  string
+	Attrs []ColumnDef
+}
+
+// Txn control statements.
+type (
+	// BeginStmt is BEGIN.
+	BeginStmt struct{}
+	// CommitStmt is COMMIT.
+	CommitStmt struct{}
+	// RollbackStmt is ROLLBACK.
+	RollbackStmt struct{}
+)
+
+// ExplainStmt is EXPLAIN PLAN FOR <select>; the engine returns the chosen
+// access path as text rows.
+type ExplainStmt struct{ Query *Select }
+
+// AnalyzeTable is ANALYZE TABLE name: refresh optimizer statistics for
+// the table, its built-in indexes, and (via StatsCollector) its domain
+// indexes.
+type AnalyzeTable struct{ Name string }
+
+func (*Select) stmt()          {}
+func (*Insert) stmt()          {}
+func (*Update) stmt()          {}
+func (*Delete) stmt()          {}
+func (*CreateTable) stmt()     {}
+func (*DropTable) stmt()       {}
+func (*TruncateTable) stmt()   {}
+func (*CreateIndex) stmt()     {}
+func (*DropIndex) stmt()       {}
+func (*AlterIndex) stmt()      {}
+func (*CreateOperator) stmt()  {}
+func (*DropOperator) stmt()    {}
+func (*CreateIndexType) stmt() {}
+func (*DropIndexType) stmt()   {}
+func (*CreateType) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*ExplainStmt) stmt()     {}
+func (*AnalyzeTable) stmt()    {}
+
+// Norm uppercases an identifier for case-insensitive catalog lookups.
+func Norm(s string) string { return strings.ToUpper(s) }

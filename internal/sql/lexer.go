@@ -1,0 +1,178 @@
+// Package sql implements the engine's SQL dialect: the lexer, the AST and
+// a recursive-descent parser. The dialect covers everything the paper's
+// examples use — ordinary DDL/DML/queries plus the extensibility DDL the
+// paper introduces: CREATE OPERATOR, CREATE INDEXTYPE, and
+// CREATE INDEX ... INDEXTYPE IS ... PARAMETERS ('...').
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol  // punctuation and operators: ( ) , . + - * / = < > <= >= != <>
+	TokKeyword // recognized SQL keyword (uppercased in Text)
+	TokBind    // bind parameter: ?  or :name
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "DROP": true, "TRUNCATE": true, "ALTER": true,
+	"ON": true, "INDEXTYPE": true, "IS": true, "PARAMETERS": true, "OPERATOR": true,
+	"BINDING": true, "RETURN": true, "USING": true, "FOR": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DISTINCT": true, "AS": true, "LIKE": true, "BETWEEN": true, "IN": true,
+	"GROUP": true, "BITMAP": true, "HASH": true, "UNIQUE": true, "TYPE": true,
+	"OBJECT": true, "ANCILLARY": true, "TO": true, "WITH": true, "STATS": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "REBUILD": true, "ANALYZE": true,
+	"EXPLAIN": true, "PLAN": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "HAVING": true, "FUNCTION": true, "VARRAY": true,
+}
+
+// Lex tokenizes the input, returning the token stream or a positioned
+// error.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*': // block comment
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated comment at offset %d", i)
+			}
+			i += end + 4
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' && !seenDot) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Exponent.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && input[j] >= '0' && input[j] <= '9' {
+					i = j
+					for i < n && input[i] >= '0' && input[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c == '"': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(input[i:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+			}
+			toks = append(toks, Token{TokIdent, input[i : i+j], start})
+			i += j + 1
+		case c == '?':
+			toks = append(toks, Token{TokBind, "?", i})
+			i++
+		case c == ':' && i+1 < n && isIdentStart(rune(input[i+1])):
+			start := i
+			i++
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, Token{TokBind, input[start:i], start})
+		default:
+			start := i
+			// Multi-char operators.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>", "||":
+					toks = append(toks, Token{TokSymbol, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+				toks = append(toks, Token{TokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '#'
+}

@@ -1,0 +1,1033 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/types"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().Text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks  []Token
+	pos   int
+	src   string
+	binds int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == k && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(k TokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind, text string) (Token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return Token{}, p.errf("expected %s, found %q", want, p.cur().Text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	// Non-reserved usage: allow keywords that commonly double as names.
+	if t.Kind == TokIdent || (t.Kind == TokKeyword && softKeyword[t.Text]) {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", t.Text)
+}
+
+// softKeyword lists keywords that may also appear as identifiers
+// (column/function names used in the paper, like COUNT as an aggregate).
+var softKeyword = map[string]bool{
+	"TYPE": true, "STATS": true, "OBJECT": true, "PLAN": true, "HASH": true,
+	"BITMAP": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "VARRAY": true,
+}
+
+// qualifiedName parses name or schema.name, returning the final segment
+// prefixed (schema names are accepted and folded into the object name,
+// matching the paper's Ordsys.Contains style without a full schema system).
+func (p *parser) qualifiedName() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(TokSymbol, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return second, nil // schema prefix accepted and dropped
+	}
+	return first, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(TokKeyword, "INSERT"):
+		return p.insertStmt()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.updateStmt()
+	case p.at(TokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.at(TokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(TokKeyword, "DROP"):
+		return p.dropStmt()
+	case p.at(TokKeyword, "TRUNCATE"):
+		p.next()
+		if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateTable{Name: name}, nil
+	case p.at(TokKeyword, "ALTER"):
+		return p.alterStmt()
+	case p.accept(TokKeyword, "BEGIN"):
+		return &BeginStmt{}, nil
+	case p.accept(TokKeyword, "COMMIT"):
+		return &CommitStmt{}, nil
+	case p.accept(TokKeyword, "ROLLBACK"):
+		return &RollbackStmt{}, nil
+	case p.at(TokKeyword, "ANALYZE"):
+		p.next()
+		if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeTable{Name: name}, nil
+	case p.at(TokKeyword, "EXPLAIN"):
+		p.next()
+		p.accept(TokKeyword, "PLAN")
+		p.accept(TokKeyword, "FOR")
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel.(*Select)}, nil
+	default:
+		return nil, p.errf("unsupported statement starting with %q", p.cur().Text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+
+func (p *parser) selectStmt() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		tr := TableRef{Name: name}
+		if p.cur().Kind == TokIdent {
+			tr.Alias = p.next().Text
+		}
+		sel.From = append(sel.From, tr)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				oi.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, oi)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form: ident '.' '*'
+	if p.cur().Kind == TokIdent && p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		tbl := p.next().Text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// ---------------------------------------------------------------------------
+// DML
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.accept(TokSymbol, "(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: name}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Cols = append(upd.Cols, c)
+		upd.Exprs = append(upd.Exprs, e)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = w
+	}
+	return upd, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.accept(TokKeyword, "TABLE"):
+		return p.createTable()
+	case p.at(TokKeyword, "INDEX"), p.at(TokKeyword, "UNIQUE"), p.at(TokKeyword, "BITMAP"), p.at(TokKeyword, "HASH"):
+		return p.createIndex()
+	case p.accept(TokKeyword, "OPERATOR"):
+		return p.createOperator()
+	case p.accept(TokKeyword, "INDEXTYPE"):
+		return p.createIndexType()
+	case p.accept(TokKeyword, "TYPE"):
+		return p.createType()
+	default:
+		return nil, p.errf("unsupported CREATE %q", p.cur().Text)
+	}
+}
+
+func (p *parser) typeName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	// Swallow length specs like VARCHAR2(1024) and NUMBER(10,2).
+	if p.accept(TokSymbol, "(") {
+		depth := 1
+		for depth > 0 {
+			t := p.next()
+			if t.Kind == TokEOF {
+				return "", p.errf("unterminated type length spec")
+			}
+			if t.Kind == TokSymbol && t.Text == "(" {
+				depth++
+			}
+			if t.Kind == TokSymbol && t.Text == ")" {
+				depth--
+			}
+		}
+	}
+	return name, nil
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, ColumnDef{Name: col, TypeName: tn})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) createIndex() (Statement, error) {
+	ci := &CreateIndex{Kind: IndexBTree}
+	switch {
+	case p.accept(TokKeyword, "UNIQUE"):
+		ci.Unique = true
+	case p.accept(TokKeyword, "BITMAP"):
+		ci.Kind = IndexBitmap
+	case p.accept(TokKeyword, "HASH"):
+		ci.Kind = IndexHash
+	}
+	if _, err := p.expect(TokKeyword, "INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ci.Name = name
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = tbl
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Column = col
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "INDEXTYPE") {
+		if _, err := p.expect(TokKeyword, "IS"); err != nil {
+			return nil, err
+		}
+		it, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		ci.Kind = IndexDomain
+		ci.IndexType = it
+		if p.accept(TokKeyword, "PARAMETERS") {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			s, err := p.expect(TokString, "")
+			if err != nil {
+				return nil, err
+			}
+			ci.Params = s.Text
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ci, nil
+}
+
+func (p *parser) createOperator() (Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	co := &CreateOperator{Name: name}
+	for {
+		if _, err := p.expect(TokKeyword, "BINDING"); err != nil {
+			return nil, err
+		}
+		var b OperatorBinding
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		for {
+			tn, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			b.ArgTypes = append(b.ArgTypes, tn)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "RETURN"); err != nil {
+			return nil, err
+		}
+		rt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		b.ReturnType = rt
+		if _, err := p.expect(TokKeyword, "USING"); err != nil {
+			return nil, err
+		}
+		fn, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		b.FuncName = fn
+		co.Bindings = append(co.Bindings, b)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "ANCILLARY") {
+		if _, err := p.expect(TokKeyword, "TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		co.AncillaryTo = to
+	}
+	return co, nil
+}
+
+func (p *parser) createIndexType() (Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	cit := &CreateIndexType{Name: name}
+	if _, err := p.expect(TokKeyword, "FOR"); err != nil {
+		return nil, err
+	}
+	for {
+		opName, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		sig := OperatorSig{Name: opName}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		for {
+			tn, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			sig.ArgTypes = append(sig.ArgTypes, tn)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		cit.For = append(cit.For, sig)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "USING"); err != nil {
+		return nil, err
+	}
+	using, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	cit.Using = using
+	if p.accept(TokKeyword, "WITH") {
+		if _, err := p.expect(TokKeyword, "STATS"); err != nil {
+			return nil, err
+		}
+		sb, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		cit.StatsBy = sb
+	}
+	return cit, nil
+}
+
+func (p *parser) createType() (Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "OBJECT"); err != nil {
+		return nil, err
+	}
+	ct := &CreateType{Name: name}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		an, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		ct.Attrs = append(ct.Attrs, ColumnDef{Name: an, TypeName: tn})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	p.next() // DROP
+	switch {
+	case p.accept(TokKeyword, "TABLE"):
+		n, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: n}, nil
+	case p.accept(TokKeyword, "INDEX"):
+		n, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: n}, nil
+	case p.accept(TokKeyword, "OPERATOR"):
+		n, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropOperator{Name: n}, nil
+	case p.accept(TokKeyword, "INDEXTYPE"):
+		n, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndexType{Name: n}, nil
+	default:
+		return nil, p.errf("unsupported DROP %q", p.cur().Text)
+	}
+}
+
+func (p *parser) alterStmt() (Statement, error) {
+	p.next() // ALTER
+	if _, err := p.expect(TokKeyword, "INDEX"); err != nil {
+		return nil, err
+	}
+	n, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ai := &AlterIndex{Name: n}
+	switch {
+	case p.accept(TokKeyword, "REBUILD"):
+		ai.Rebuild = true
+	case p.accept(TokKeyword, "PARAMETERS"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		s, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, err
+		}
+		ai.Params = s.Text
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected REBUILD or PARAMETERS")
+	}
+	return ai, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		not := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{X: l, Not: not}, nil
+	}
+	notPrefix := false
+	if p.at(TokKeyword, "NOT") {
+		// Lookahead for NOT BETWEEN / NOT IN / NOT LIKE.
+		nt := p.toks[p.pos+1]
+		if nt.Kind == TokKeyword && (nt.Text == "BETWEEN" || nt.Text == "IN" || nt.Text == "LIKE") {
+			p.next()
+			notPrefix = true
+		}
+	}
+	switch {
+	case p.accept(TokKeyword, "BETWEEN"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Between{X: l, Lo: lo, Hi: hi, Not: notPrefix}, nil
+	case p.accept(TokKeyword, "IN"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return InList{X: l, List: list, Not: notPrefix}, nil
+	case p.accept(TokKeyword, "LIKE"):
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(Binary{Op: "LIKE", L: l, R: r})
+		if notPrefix {
+			e = Unary{Op: "NOT", X: e}
+		}
+		return e, nil
+	}
+	t := p.cur()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "<", ">", "<=", ">=", "!=", "<>":
+			p.next()
+			op := t.Text
+			if op == "<>" {
+				op = "!="
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokSymbol || (t.Text != "+" && t.Text != "-" && t.Text != "||") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokSymbol || (t.Text != "*" && t.Text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	p.accept(TokSymbol, "+")
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return Literal{Value: types.Num(f)}, nil
+	case TokString:
+		p.next()
+		return Literal{Value: types.Str(t.Text)}, nil
+	case TokBind:
+		p.next()
+		b := Bind{Pos: p.binds, Name: ""}
+		if t.Text != "?" {
+			b.Name = t.Text[1:]
+		}
+		p.binds++
+		return b, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return Literal{Value: types.Null()}, nil
+		case "TRUE":
+			p.next()
+			return Literal{Value: types.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return Literal{Value: types.Bool(false)}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG", "VARRAY":
+			return p.callOrName()
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		return p.callOrName()
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %q in expression", t.Text)
+}
+
+// callOrName parses: name | name.name | name(args) | name.name(args).
+func (p *parser) callOrName() (Expr, error) {
+	first := p.next().Text
+	qualifier := ""
+	name := first
+	if p.accept(TokSymbol, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		qualifier, name = first, second
+	}
+	if p.accept(TokSymbol, "(") {
+		c := Call{Name: name}
+		if p.accept(TokSymbol, "*") {
+			c.Star = true
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		if !p.accept(TokSymbol, ")") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, e)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	return ColumnRef{Table: qualifier, Name: name}, nil
+}

@@ -1,0 +1,357 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'it''s', 3.5e2 FROM t -- comment\nWHERE x >= :lang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "a", ",", "it's", ",", "3.5e2", "FROM", "t", "WHERE", "x", ">=", ":lang", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("texts = %q", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[3] != TokString || kinds[5] != TokNumber || kinds[11] != TokBind {
+		t.Errorf("kinds wrong: %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "/* unterminated", "a @ b", `"unclosed`} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// Every SQL statement that appears in the paper must parse.
+	examples := []string{
+		`CREATE TABLE Employees(name VARCHAR(128), id INTEGER, resume VARCHAR2(1024))`,
+		`CREATE INDEX ResumeTextIndex ON Employees(resume) INDEXTYPE IS TextIndexType`,
+		`SELECT * FROM Employees WHERE Contains(resume, 'Oracle AND UNIX')`,
+		`CREATE OPERATOR Ordsys.Contains BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING TextContains`,
+		`CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR2, VARCHAR2) USING TextIndexMethods`,
+		`CREATE INDEX ResumeTextIndex ON Employees(resume) INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an')`,
+		`ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore COBOL')`,
+		`SELECT * FROM Employees WHERE Contains(resume, 'Oracle') AND id = 100`,
+		`SELECT * FROM docs WHERE Contains(resume, 'Oracle')`,
+		`SELECT d.* FROM docs d, results r WHERE d.rowid = r.rid`,
+		`SELECT r.gid, p.gid FROM roads r, parks p WHERE Sdo_Relate(r.geometry, p.geometry, 'mask=OVERLAPS')`,
+		`SELECT DISTINCT r.gid, p.gid FROM roads_sdoindex r, parks_sdoindex p
+		 WHERE (r.grpcode = p.grpcode)
+		   AND (r.sdo_code BETWEEN p.sdo_code AND p.sdo_maxcode
+		     OR p.sdo_code BETWEEN r.sdo_code AND r.sdo_maxcode)
+		   AND (Relate(r.gid, p.gid, 'OVERLAPS') = 'TRUE')`,
+		`SELECT * FROM Employees WHERE Contains(Hobbies, 'Skiing')`,
+	}
+	for _, src := range examples {
+		mustParse(t, src)
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	st := mustParse(t, `SELECT name, id * 2 AS double_id FROM Employees e
+		WHERE id >= 10 AND name LIKE 'A%' ORDER BY id DESC LIMIT 5`)
+	sel := st.(*Select)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "double_id" {
+		t.Errorf("items wrong: %+v", sel.Items)
+	}
+	if sel.From[0].Name != "Employees" || sel.From[0].Alias != "e" {
+		t.Errorf("from wrong: %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.Limit != 5 {
+		t.Error("where/order/limit wrong")
+	}
+	b, ok := sel.Where.(Binary)
+	if !ok || b.Op != "AND" {
+		t.Errorf("where = %#v", sel.Where)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st := mustParse(t, `SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 3`)
+	sel := st.(*Select)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having missing")
+	}
+	c := sel.Items[1].Expr.(Call)
+	if c.Name != "COUNT" || !c.Star {
+		t.Errorf("COUNT(*) parsed as %+v", c)
+	}
+}
+
+func TestParseInsertForms(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`)
+	ins := st.(*Insert)
+	if len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	st = mustParse(t, `INSERT INTO t VALUES (NULL, TRUE, -3.5, ?)`)
+	ins = st.(*Insert)
+	row := ins.Rows[0]
+	if !row[0].(Literal).Value.IsNull() {
+		t.Error("NULL literal wrong")
+	}
+	if !row[1].(Literal).Value.Truth() {
+		t.Error("TRUE literal wrong")
+	}
+	u := row[2].(Unary)
+	if u.Op != "-" || u.X.(Literal).Value.Float() != 3.5 {
+		t.Error("negative literal wrong")
+	}
+	if _, ok := row[3].(Bind); !ok {
+		t.Error("bind wrong")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st := mustParse(t, `UPDATE Employees SET resume = 'new resume', id = id + 1 WHERE name = 'bob'`)
+	upd := st.(*Update)
+	if len(upd.Cols) != 2 || upd.Where == nil {
+		t.Errorf("update = %+v", upd)
+	}
+	st = mustParse(t, `DELETE FROM Employees WHERE Contains(resume, 'COBOL')`)
+	del := st.(*Delete)
+	if del.Table != "Employees" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+}
+
+func TestParseCreateIndexVariants(t *testing.T) {
+	ci := mustParse(t, `CREATE BITMAP INDEX bi ON t(c)`).(*CreateIndex)
+	if ci.Kind != IndexBitmap {
+		t.Error("bitmap kind wrong")
+	}
+	ci = mustParse(t, `CREATE HASH INDEX hi ON t(c)`).(*CreateIndex)
+	if ci.Kind != IndexHash {
+		t.Error("hash kind wrong")
+	}
+	ci = mustParse(t, `CREATE UNIQUE INDEX ui ON t(c)`).(*CreateIndex)
+	if !ci.Unique || ci.Kind != IndexBTree {
+		t.Error("unique b-tree wrong")
+	}
+	ci = mustParse(t, `CREATE INDEX di ON t(c) INDEXTYPE IS SomeType PARAMETERS ('p1 p2')`).(*CreateIndex)
+	if ci.Kind != IndexDomain || ci.IndexType != "SomeType" || ci.Params != "p1 p2" {
+		t.Errorf("domain index = %+v", ci)
+	}
+}
+
+func TestParseCreateOperatorAncillary(t *testing.T) {
+	co := mustParse(t, `CREATE OPERATOR Score BINDING (NUMBER) RETURN NUMBER USING ScoreFunc ANCILLARY TO Contains`).(*CreateOperator)
+	if co.AncillaryTo != "Contains" {
+		t.Errorf("ancillary = %+v", co)
+	}
+	co = mustParse(t, `CREATE OPERATOR Eq BINDING (NUMBER, NUMBER) RETURN BOOLEAN USING f1, BINDING (VARCHAR2, VARCHAR2) RETURN BOOLEAN USING f2`).(*CreateOperator)
+	if len(co.Bindings) != 2 || co.Bindings[1].FuncName != "f2" {
+		t.Errorf("bindings = %+v", co.Bindings)
+	}
+}
+
+func TestParseCreateIndexTypeMultiOp(t *testing.T) {
+	cit := mustParse(t, `CREATE INDEXTYPE SpatialIT FOR Sdo_Relate(OBJECT, OBJECT, VARCHAR2), Sdo_Within(OBJECT, NUMBER) USING SpatialMethods WITH STATS SpatialStats`).(*CreateIndexType)
+	if len(cit.For) != 2 || cit.For[1].Name != "Sdo_Within" || cit.Using != "SpatialMethods" || cit.StatsBy != "SpatialStats" {
+		t.Errorf("indextype = %+v", cit)
+	}
+}
+
+func TestParseCreateType(t *testing.T) {
+	ct := mustParse(t, `CREATE TYPE Point AS OBJECT (x NUMBER, y NUMBER)`).(*CreateType)
+	if ct.Name != "Point" || len(ct.Attrs) != 2 {
+		t.Errorf("type = %+v", ct)
+	}
+}
+
+func TestParseMiscStatements(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*BeginStmt); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT;").(*CommitStmt); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Error("ROLLBACK")
+	}
+	if st := mustParse(t, "TRUNCATE TABLE t").(*TruncateTable); st.Name != "t" {
+		t.Error("TRUNCATE")
+	}
+	ai := mustParse(t, "ALTER INDEX i REBUILD").(*AlterIndex)
+	if !ai.Rebuild {
+		t.Error("REBUILD")
+	}
+	ex := mustParse(t, "EXPLAIN PLAN FOR SELECT * FROM t WHERE a = 1").(*ExplainStmt)
+	if ex.Query == nil {
+		t.Error("EXPLAIN")
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 + 2 * 3 FROM t").(*Select)
+	b := sel.Items[0].Expr.(Binary)
+	if b.Op != "+" {
+		t.Fatalf("top op = %s", b.Op)
+	}
+	if b.R.(Binary).Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+
+	sel = mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*Select)
+	ob := sel.Where.(Binary)
+	if ob.Op != "OR" || ob.R.(Binary).Op != "AND" {
+		t.Error("AND should bind tighter than OR")
+	}
+
+	sel = mustParse(t, "SELECT * FROM t WHERE NOT a = 1 AND b = 2").(*Select)
+	ab := sel.Where.(Binary)
+	if ab.Op != "AND" {
+		t.Fatalf("NOT scope wrong: %#v", sel.Where)
+	}
+	if _, ok := ab.L.(Unary); !ok {
+		t.Error("NOT should bind tighter than AND")
+	}
+}
+
+func TestParseInBetweenIsNull(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a IN (1,2,3) AND b NOT BETWEEN 1 AND 5 AND c IS NOT NULL").(*Select)
+	and1 := sel.Where.(Binary)
+	and2 := and1.L.(Binary)
+	if _, ok := and2.L.(InList); !ok {
+		t.Errorf("IN parse: %#v", and2.L)
+	}
+	bt, ok := and2.R.(Between)
+	if !ok || !bt.Not {
+		t.Errorf("NOT BETWEEN parse: %#v", and2.R)
+	}
+	isn, ok := and1.R.(IsNull)
+	if !ok || !isn.Not {
+		t.Errorf("IS NOT NULL parse: %#v", and1.R)
+	}
+}
+
+func TestParseBindNumbering(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t VALUES (?, :name, ?)").(*Insert)
+	row := ins.Rows[0]
+	if row[0].(Bind).Pos != 0 || row[1].(Bind).Pos != 1 || row[2].(Bind).Pos != 2 {
+		t.Error("bind positions wrong")
+	}
+	if row[1].(Bind).Name != "name" {
+		t.Error("named bind wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO t",
+		"CREATE TABLE t",
+		"CREATE INDEX i ON t",
+		"CREATE OPERATOR o",
+		"CREATE INDEXTYPE it FOR",
+		"SELECT * FROM t; garbage",
+		"GRANT ALL",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLiteralKinds(t *testing.T) {
+	sel := mustParse(t, "SELECT 42, 'str', NULL, TRUE FROM t").(*Select)
+	vals := []types.Value{
+		sel.Items[0].Expr.(Literal).Value,
+		sel.Items[1].Expr.(Literal).Value,
+		sel.Items[2].Expr.(Literal).Value,
+		sel.Items[3].Expr.(Literal).Value,
+	}
+	if vals[0].Kind() != types.KindNumber || vals[1].Kind() != types.KindString ||
+		!vals[2].IsNull() || vals[3].Kind() != types.KindBool {
+		t.Errorf("literal kinds = %v", vals)
+	}
+}
+
+// TestParserNeverPanics feeds random mutations of valid statements and
+// raw random bytes to the parser; it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`SELECT a, b FROM t WHERE x = 1 AND Contains(c, 'q', 1) ORDER BY a DESC LIMIT 3`,
+		`CREATE INDEX i ON t(c) INDEXTYPE IS X PARAMETERS (':a b')`,
+		`CREATE OPERATOR o BINDING (NUMBER) RETURN NUMBER USING f ANCILLARY TO p`,
+		`INSERT INTO t (a, b) VALUES (1, 'x'), (?, :n)`,
+		`UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2 OR c IN (1,2,3)`,
+		`ANALYZE TABLE t`,
+	}
+	rng := newTestRand()
+	tryParse := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		Parse(src)
+	}
+	for _, seed := range seeds {
+		for trial := 0; trial < 400; trial++ {
+			b := []byte(seed)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				switch rng.Intn(3) {
+				case 0: // delete a byte
+					if len(b) > 1 {
+						i := rng.Intn(len(b))
+						b = append(b[:i], b[i+1:]...)
+					}
+				case 1: // replace with random printable
+					if len(b) > 0 {
+						b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+					}
+				case 2: // duplicate a slice
+					if len(b) > 2 {
+						i := rng.Intn(len(b) - 1)
+						j := i + 1 + rng.Intn(len(b)-i-1)
+						b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+					}
+				}
+			}
+			tryParse(string(b))
+		}
+	}
+	// Raw random bytes.
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, rng.Intn(60))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		tryParse(string(b))
+	}
+}

@@ -1,0 +1,419 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID identifies a row in a heap: the page it lives on and its slot. RIDs
+// are stable across in-place updates; updates that no longer fit leave a
+// forwarding stub behind so the original RID keeps working — this is what
+// lets domain indexes store RIDs durably, exactly as the paper's index
+// maintenance protocol assumes.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Nil is the zero RID used as "no row" (page InvalidPage).
+var NilRID = RID{Page: InvalidPage}
+
+// IsNil reports whether the RID is the sentinel "no row" value.
+func (r RID) IsNil() bool { return r.Page == InvalidPage }
+
+// Int64 packs the RID into an int64 for transport inside Values.
+func (r RID) Int64() int64 { return int64(r.Page)<<16 | int64(r.Slot) }
+
+// RIDFromInt64 unpacks a RID packed by Int64.
+func RIDFromInt64(v int64) RID {
+	return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// String renders the RID like Oracle's ROWID pseudo-column.
+func (r RID) String() string { return fmt.Sprintf("RID(%d.%d)", r.Page, r.Slot) }
+
+// Record flags: a record in a heap page is a flag byte followed by payload.
+const (
+	recData      = 0 // payload is the row image
+	recForward   = 1 // payload is the 6-byte RID of the relocated row
+	recRelocated = 2 // payload is the row image, but the canonical RID is elsewhere
+)
+
+// Heap is a slotted-page heap table. It is not itself synchronized; the
+// lock manager serializes access at the table level above it.
+type Heap struct {
+	pager *Pager
+	first PageID
+	pages []PageID
+	// freeBytes approximates per-page free space to direct inserts.
+	freeBytes map[PageID]int
+}
+
+// CreateHeap allocates an empty heap.
+func CreateHeap(p *Pager) (*Heap, error) {
+	pg, err := p.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initPage(pg.Data)
+	p.Unpin(pg, true)
+	h := &Heap{pager: p, first: pg.ID, pages: []PageID{pg.ID}, freeBytes: map[PageID]int{}}
+	h.freeBytes[pg.ID] = PageSize - pageHeaderSize
+	return h, nil
+}
+
+// OpenHeap reattaches to a heap previously created with CreateHeap, by
+// walking its page chain from the first page.
+func OpenHeap(p *Pager, first PageID) (*Heap, error) {
+	h := &Heap{pager: p, first: first, freeBytes: map[PageID]int{}}
+	for id := first; id != InvalidPage; {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		h.pages = append(h.pages, id)
+		free, _ := pageFreeSpace(pg.Data)
+		h.freeBytes[id] = free
+		next := pageNext(pg.Data)
+		p.Unpin(pg, false)
+		id = next
+	}
+	return h, nil
+}
+
+// FirstPage returns the head of the heap's page chain (persisted in the
+// catalog so the heap can be reopened).
+func (h *Heap) FirstPage() PageID { return h.first }
+
+// NumPages returns the number of pages the heap occupies.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// Drop releases every page of the heap back to the pager.
+func (h *Heap) Drop() {
+	for _, id := range h.pages {
+		h.pager.Free(id)
+	}
+	h.pages = nil
+	h.freeBytes = map[PageID]int{}
+	h.first = InvalidPage
+}
+
+// Truncate drops all pages except a fresh first page.
+func (h *Heap) Truncate() error {
+	for _, id := range h.pages {
+		h.pager.Free(id)
+	}
+	pg, err := h.pager.NewPage()
+	if err != nil {
+		return err
+	}
+	initPage(pg.Data)
+	h.pager.Unpin(pg, true)
+	h.first = pg.ID
+	h.pages = []PageID{pg.ID}
+	h.freeBytes = map[PageID]int{pg.ID: PageSize - pageHeaderSize}
+	return nil
+}
+
+// Insert stores a row image and returns its RID.
+func (h *Heap) Insert(row []byte) (RID, error) {
+	rec := make([]byte, 1+len(row))
+	rec[0] = recData
+	copy(rec[1:], row)
+	return h.insertRecord(rec)
+}
+
+func (h *Heap) insertRecord(rec []byte) (RID, error) {
+	// Try the most recently appended pages first, then any page with room.
+	for i := len(h.pages) - 1; i >= 0 && i >= len(h.pages)-2; i-- {
+		if rid, ok, err := h.tryInsertOn(h.pages[i], rec); err != nil || ok {
+			return rid, err
+		}
+	}
+	for _, id := range h.pages {
+		if h.freeBytes[id] >= len(rec)+slotSize {
+			if rid, ok, err := h.tryInsertOn(id, rec); err != nil || ok {
+				return rid, err
+			}
+		}
+	}
+	// Grow the heap.
+	pg, err := h.pager.NewPage()
+	if err != nil {
+		return NilRID, err
+	}
+	initPage(pg.Data)
+	slot, err := pageInsert(pg.Data, rec)
+	if err != nil {
+		h.pager.Unpin(pg, false)
+		return NilRID, err
+	}
+	free, _ := pageFreeSpace(pg.Data)
+	h.freeBytes[pg.ID] = free
+	h.pager.Unpin(pg, true)
+	// Link at the end of the chain.
+	last := h.pages[len(h.pages)-1]
+	lp, err := h.pager.Fetch(last)
+	if err != nil {
+		return NilRID, err
+	}
+	setPageNext(lp.Data, pg.ID)
+	h.pager.Unpin(lp, true)
+	h.pages = append(h.pages, pg.ID)
+	return RID{Page: pg.ID, Slot: uint16(slot)}, nil
+}
+
+func (h *Heap) tryInsertOn(id PageID, rec []byte) (RID, bool, error) {
+	pg, err := h.pager.Fetch(id)
+	if err != nil {
+		return NilRID, false, err
+	}
+	slot, err := pageInsert(pg.Data, rec)
+	if err == errPageFull {
+		free, _ := pageFreeSpace(pg.Data)
+		h.freeBytes[id] = free
+		h.pager.Unpin(pg, false)
+		return NilRID, false, nil
+	}
+	if err != nil {
+		h.pager.Unpin(pg, false)
+		return NilRID, false, err
+	}
+	free, _ := pageFreeSpace(pg.Data)
+	h.freeBytes[id] = free
+	h.pager.Unpin(pg, true)
+	return RID{Page: id, Slot: uint16(slot)}, true, nil
+}
+
+// InsertAt restores a row image at a specific RID whose slot must be
+// currently empty. The transaction layer uses it to undo deletes while
+// preserving RIDs; reverse-order undo guarantees the slot and the space
+// are free again by the time it runs.
+func (h *Heap) InsertAt(rid RID, row []byte) error {
+	rec := make([]byte, 1+len(row))
+	rec[0] = recData
+	copy(rec[1:], row)
+	pg, err := h.pager.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		free, _ := pageFreeSpace(pg.Data)
+		h.freeBytes[rid.Page] = free
+		h.pager.Unpin(pg, true)
+	}()
+	if int(rid.Slot) >= pageNSlots(pg.Data) {
+		return fmt.Errorf("storage: InsertAt slot %d beyond page slot count", rid.Slot)
+	}
+	if off, l := slotOffLen(pg.Data, int(rid.Slot)); off != 0 || l != 0 {
+		return fmt.Errorf("storage: InsertAt target %s is occupied", rid)
+	}
+	slotEnd := pageHeaderSize + pageNSlots(pg.Data)*slotSize
+	if PageSize-slotEnd-pageLiveBytes(pg.Data) < len(rec) {
+		return fmt.Errorf("storage: no room to restore row at %s", rid)
+	}
+	pageCompact(pg.Data)
+	pos := pageDataStart(pg.Data) - len(rec)
+	copy(pg.Data[pos:pos+len(rec)], rec)
+	setPageDataStart(pg.Data, pos)
+	setSlot(pg.Data, int(rid.Slot), pos, len(rec))
+	return nil
+}
+
+// resolve follows at most one forwarding hop and returns the RID holding
+// the actual row image plus that image's payload.
+func (h *Heap) resolve(rid RID) (RID, []byte, error) {
+	pg, err := h.pager.Fetch(rid.Page)
+	if err != nil {
+		return NilRID, nil, err
+	}
+	rec, err := pageRead(pg.Data, int(rid.Slot))
+	if err != nil || rec == nil {
+		h.pager.Unpin(pg, false)
+		if err == nil {
+			err = fmt.Errorf("storage: no row at %s", rid)
+		}
+		return NilRID, nil, err
+	}
+	if rec[0] == recForward {
+		target := RID{
+			Page: PageID(binary.BigEndian.Uint32(rec[1:5])),
+			Slot: binary.BigEndian.Uint16(rec[5:7]),
+		}
+		h.pager.Unpin(pg, false)
+		tp, err := h.pager.Fetch(target.Page)
+		if err != nil {
+			return NilRID, nil, err
+		}
+		trec, err := pageRead(tp.Data, int(target.Slot))
+		if err != nil || trec == nil || trec[0] != recRelocated {
+			h.pager.Unpin(tp, false)
+			if err == nil {
+				err = fmt.Errorf("storage: dangling forward at %s", rid)
+			}
+			return NilRID, nil, err
+		}
+		out := append([]byte(nil), trec[1:]...)
+		h.pager.Unpin(tp, false)
+		return target, out, nil
+	}
+	out := append([]byte(nil), rec[1:]...)
+	h.pager.Unpin(pg, false)
+	return rid, out, nil
+}
+
+// Get returns a copy of the row image at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	_, row, err := h.resolve(rid)
+	return row, err
+}
+
+// Delete removes the row at rid (following forwarding).
+func (h *Heap) Delete(rid RID) error {
+	home, _, err := h.resolve(rid)
+	if err != nil {
+		return err
+	}
+	if home != rid {
+		// Clear the relocated copy first.
+		if err := h.clearSlot(home); err != nil {
+			return err
+		}
+	}
+	return h.clearSlot(rid)
+}
+
+func (h *Heap) clearSlot(rid RID) error {
+	pg, err := h.pager.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = pageDelete(pg.Data, int(rid.Slot))
+	if err == nil {
+		free, _ := pageFreeSpace(pg.Data)
+		h.freeBytes[rid.Page] = free
+	}
+	h.pager.Unpin(pg, err == nil)
+	return err
+}
+
+// Update replaces the row image at rid, preserving the RID. If the new
+// image does not fit where the row lives, the row is relocated and a
+// forwarding stub is left at the original RID.
+func (h *Heap) Update(rid RID, row []byte) error {
+	home, _, err := h.resolve(rid)
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, 1+len(row))
+	if home == rid {
+		rec[0] = recData
+	} else {
+		rec[0] = recRelocated
+	}
+	copy(rec[1:], row)
+	pg, err := h.pager.Fetch(home.Page)
+	if err != nil {
+		return err
+	}
+	ok, err := pageReplace(pg.Data, int(home.Slot), rec)
+	if err != nil {
+		h.pager.Unpin(pg, false)
+		return err
+	}
+	if ok {
+		free, _ := pageFreeSpace(pg.Data)
+		h.freeBytes[home.Page] = free
+		h.pager.Unpin(pg, true)
+		return nil
+	}
+	h.pager.Unpin(pg, false)
+	// Relocate: store the image elsewhere flagged recRelocated, then point
+	// the original slot at it.
+	rec[0] = recRelocated
+	target, err := h.insertRecord(rec)
+	if err != nil {
+		return err
+	}
+	var fwd [7]byte
+	fwd[0] = recForward
+	binary.BigEndian.PutUint32(fwd[1:5], uint32(target.Page))
+	binary.BigEndian.PutUint16(fwd[5:7], target.Slot)
+	// Clear whatever lives at the original chain (home may differ from rid
+	// when re-forwarding; the old relocated copy must be dropped).
+	if home != rid {
+		if err := h.clearSlot(home); err != nil {
+			return err
+		}
+	}
+	pg, err = h.pager.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	ok, err = pageReplace(pg.Data, int(rid.Slot), fwd[:])
+	if err == nil && !ok {
+		err = fmt.Errorf("storage: cannot shrink slot %s to forwarding stub", rid)
+	}
+	h.pager.Unpin(pg, err == nil)
+	return err
+}
+
+// Scan calls fn for every row in the heap in physical order, passing the
+// row's canonical RID and a copy of its image. fn returning false stops
+// the scan early.
+func (h *Heap) Scan(fn func(rid RID, row []byte) (bool, error)) error {
+	for _, id := range h.pages {
+		pg, err := h.pager.Fetch(id)
+		if err != nil {
+			return err
+		}
+		n := pageNSlots(pg.Data)
+		type item struct {
+			rid RID
+			row []byte
+		}
+		var items []item
+		for s := 0; s < n; s++ {
+			rec, err := pageRead(pg.Data, s)
+			if err != nil {
+				h.pager.Unpin(pg, false)
+				return err
+			}
+			if rec == nil || rec[0] == recRelocated {
+				continue // relocated copies are reported via their stub
+			}
+			rid := RID{Page: id, Slot: uint16(s)}
+			if rec[0] == recForward {
+				items = append(items, item{rid: rid, row: nil})
+				continue
+			}
+			items = append(items, item{rid: rid, row: append([]byte(nil), rec[1:]...)})
+		}
+		h.pager.Unpin(pg, false)
+		for _, it := range items {
+			row := it.row
+			if row == nil {
+				var err error
+				_, row, err = h.resolve(it.rid)
+				if err != nil {
+					return err
+				}
+			}
+			keep, err := fn(it.rid, row)
+			if err != nil {
+				return err
+			}
+			if !keep {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live rows (forward stubs count once).
+func (h *Heap) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) (bool, error) { n++; return true, nil })
+	return n, err
+}

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout (heap pages and IOT/B+-tree nodes share the same
+// low-level slot machinery):
+//
+//	bytes 0..3   next page id in the owning object's chain (InvalidPage = end)
+//	bytes 4..5   number of slots
+//	bytes 6..7   dataStart: lowest byte offset used by tuple data
+//	bytes 8..    slot array, 4 bytes per slot: offset u16, length u16
+//	...free...
+//	dataStart..  tuple data, growing downward from PageSize
+//
+// An empty slot has offset == 0 and length == 0 (offset 0 can never hold
+// data because the header occupies it).
+
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+)
+
+// MaxRecordSize is the largest record a slotted page can hold. Larger
+// payloads must go through the LOB store.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+func pageNext(d []byte) PageID       { return PageID(binary.BigEndian.Uint32(d[0:4])) }
+func setPageNext(d []byte, n PageID) { binary.BigEndian.PutUint32(d[0:4], uint32(n)) }
+
+func pageNSlots(d []byte) int       { return int(binary.BigEndian.Uint16(d[4:6])) }
+func setPageNSlots(d []byte, n int) { binary.BigEndian.PutUint16(d[4:6], uint16(n)) }
+
+func pageDataStart(d []byte) int       { return int(binary.BigEndian.Uint16(d[6:8])) }
+func setPageDataStart(d []byte, n int) { binary.BigEndian.PutUint16(d[6:8], uint16(n)) }
+
+// initPage formats a zeroed buffer as an empty slotted page.
+func initPage(d []byte) {
+	setPageNext(d, InvalidPage)
+	setPageNSlots(d, 0)
+	setPageDataStart(d, PageSize)
+}
+
+func slotOffLen(d []byte, slot int) (off, length int) {
+	base := pageHeaderSize + slot*slotSize
+	return int(binary.BigEndian.Uint16(d[base : base+2])),
+		int(binary.BigEndian.Uint16(d[base+2 : base+4]))
+}
+
+func setSlot(d []byte, slot, off, length int) {
+	base := pageHeaderSize + slot*slotSize
+	binary.BigEndian.PutUint16(d[base:base+2], uint16(off))
+	binary.BigEndian.PutUint16(d[base+2:base+4], uint16(length))
+}
+
+// pageFreeSpace returns the bytes available for one more record reusing an
+// existing empty slot (reuseSlot >= 0) or needing a fresh slot entry.
+func pageFreeSpace(d []byte) (free int, reuseSlot int) {
+	n := pageNSlots(d)
+	reuseSlot = -1
+	for s := 0; s < n; s++ {
+		if off, l := slotOffLen(d, s); off == 0 && l == 0 {
+			reuseSlot = s
+			break
+		}
+	}
+	slotEnd := pageHeaderSize + n*slotSize
+	free = pageDataStart(d) - slotEnd
+	if reuseSlot < 0 {
+		free -= slotSize
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free, reuseSlot
+}
+
+// pageLiveBytes returns the total size of live tuple data (for deciding
+// whether compaction would make an insert fit).
+func pageLiveBytes(d []byte) int {
+	total := 0
+	for s, n := 0, pageNSlots(d); s < n; s++ {
+		_, l := slotOffLen(d, s)
+		total += l
+	}
+	return total
+}
+
+// pageCompact rewrites tuple data contiguously at the end of the page,
+// updating slot offsets. Slot numbers (and therefore RIDs) are preserved.
+func pageCompact(d []byte) {
+	n := pageNSlots(d)
+	type ent struct{ slot, off, len int }
+	var live []ent
+	for s := 0; s < n; s++ {
+		off, l := slotOffLen(d, s)
+		if l > 0 {
+			live = append(live, ent{s, off, l})
+		}
+	}
+	tmp := make([]byte, 0, PageSize)
+	// Copy tuples out, then lay them back from the end.
+	offs := make([]int, len(live))
+	for i, e := range live {
+		offs[i] = len(tmp)
+		tmp = append(tmp, d[e.off:e.off+e.len]...)
+	}
+	pos := PageSize
+	for i := len(live) - 1; i >= 0; i-- {
+		e := live[i]
+		pos -= e.len
+		copy(d[pos:pos+e.len], tmp[offs[i]:offs[i]+e.len])
+		setSlot(d, e.slot, pos, e.len)
+	}
+	setPageDataStart(d, pos)
+}
+
+// pageInsert places rec into the page, returning the slot used. It fails
+// with errPageFull when the record does not fit even after compaction.
+var errPageFull = fmt.Errorf("storage: page full")
+
+func pageInsert(d, rec []byte) (int, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d (store large data in LOBs)", len(rec), MaxRecordSize)
+	}
+	free, reuse := pageFreeSpace(d)
+	if free < len(rec) {
+		// Try compaction: dead tuple space is reclaimable.
+		needSlot := slotSize
+		if reuse >= 0 {
+			needSlot = 0
+		}
+		slotEnd := pageHeaderSize + pageNSlots(d)*slotSize
+		if PageSize-slotEnd-pageLiveBytes(d)-needSlot >= len(rec) {
+			pageCompact(d)
+			free, reuse = pageFreeSpace(d)
+		}
+	}
+	if free < len(rec) {
+		return 0, errPageFull
+	}
+	slot := reuse
+	if slot < 0 {
+		slot = pageNSlots(d)
+		setPageNSlots(d, slot+1)
+	}
+	pos := pageDataStart(d) - len(rec)
+	copy(d[pos:pos+len(rec)], rec)
+	setPageDataStart(d, pos)
+	setSlot(d, slot, pos, len(rec))
+	return slot, nil
+}
+
+// pageRead returns the record bytes stored at slot, or nil if the slot is
+// empty. The returned slice aliases the page buffer.
+func pageRead(d []byte, slot int) ([]byte, error) {
+	if slot < 0 || slot >= pageNSlots(d) {
+		return nil, fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	off, l := slotOffLen(d, slot)
+	if l == 0 {
+		return nil, nil
+	}
+	return d[off : off+l], nil
+}
+
+// pageDelete clears the slot; the tuple space is reclaimed lazily by
+// compaction.
+func pageDelete(d []byte, slot int) error {
+	if slot < 0 || slot >= pageNSlots(d) {
+		return fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	setSlot(d, slot, 0, 0)
+	return nil
+}
+
+// pageReplace overwrites the record at slot with rec if it fits in the
+// page (possibly after compaction); it reports whether it succeeded.
+func pageReplace(d []byte, slot int, rec []byte) (bool, error) {
+	if slot < 0 || slot >= pageNSlots(d) {
+		return false, fmt.Errorf("storage: slot %d out of range", slot)
+	}
+	off, l := slotOffLen(d, slot)
+	if l == 0 {
+		return false, fmt.Errorf("storage: replacing empty slot %d", slot)
+	}
+	if len(rec) <= l {
+		// Shrinking or equal: rewrite in place at the tail of the old region.
+		pos := off + l - len(rec)
+		copy(d[pos:pos+len(rec)], rec)
+		setSlot(d, slot, pos, len(rec))
+		return true, nil
+	}
+	// Growing: delete then insert within the same page if possible.
+	setSlot(d, slot, 0, 0)
+	slotEnd := pageHeaderSize + pageNSlots(d)*slotSize
+	if PageSize-slotEnd-pageLiveBytes(d) >= len(rec) && len(rec) <= MaxRecordSize {
+		pageCompact(d)
+		pos := pageDataStart(d) - len(rec)
+		copy(d[pos:pos+len(rec)], rec)
+		setPageDataStart(d, pos)
+		setSlot(d, slot, pos, len(rec))
+		return true, nil
+	}
+	// Restore the old record so the caller can forward it elsewhere.
+	setSlot(d, slot, off, l)
+	return false, nil
+}

@@ -1,0 +1,378 @@
+// Package storage implements the engine's page store: a pager with a
+// buffer pool over a memory- or file-backed page space, and slotted-page
+// heap tables with stable row identifiers (RIDs).
+//
+// All persistent structures (heaps, B+-trees, index-organized tables, LOB
+// chunks) allocate pages from one shared pager, so buffer-pool statistics
+// account for every logical I/O in the system. That is what lets the
+// benchmark harness reproduce the paper's "reduced I/O because of no
+// temporary result table" claim quantitatively.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within the page space. InvalidPage (the zero
+// value is valid; we reserve the all-ones value) marks "no page".
+type PageID uint32
+
+// InvalidPage is the nil page id used to terminate page chains.
+const InvalidPage PageID = 0xFFFFFFFF
+
+// Backend is the raw page space underneath the buffer pool.
+type Backend interface {
+	// ReadPage fills buf (len PageSize) with the page contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page contents.
+	WritePage(id PageID, buf []byte) error
+	// Allocate extends the page space by one page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages reports the current size of the page space in pages.
+	NumPages() PageID
+	// Sync flushes the backend to durable storage where applicable.
+	Sync() error
+	// Close releases backend resources.
+	Close() error
+}
+
+// MemBackend is an in-memory page space.
+type MemBackend struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemBackend returns an empty in-memory page space.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// ReadPage implements Backend.
+func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Backend.
+func (m *MemBackend) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// Allocate implements Backend.
+func (m *MemBackend) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := PageID(len(m.pages))
+	if id == InvalidPage {
+		return 0, fmt.Errorf("storage: page space exhausted")
+	}
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return id, nil
+}
+
+// NumPages implements Backend.
+func (m *MemBackend) NumPages() PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return PageID(len(m.pages))
+}
+
+// Sync implements Backend.
+func (m *MemBackend) Sync() error { return nil }
+
+// Close implements Backend.
+func (m *MemBackend) Close() error { return nil }
+
+// FileBackend is a page space stored in a single operating-system file,
+// page i at byte offset i*PageSize.
+type FileBackend struct {
+	mu sync.Mutex
+	f  *os.File
+	n  PageID
+}
+
+// OpenFileBackend opens (creating if needed) a file-backed page space.
+func OpenFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, st.Size())
+	}
+	return &FileBackend{f: f, n: PageID(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements Backend.
+func (fb *FileBackend) ReadPage(id PageID, buf []byte) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if id >= fb.n {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	_, err := fb.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements Backend.
+func (fb *FileBackend) WritePage(id PageID, buf []byte) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if id >= fb.n {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	_, err := fb.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// Allocate implements Backend.
+func (fb *FileBackend) Allocate() (PageID, error) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	id := fb.n
+	if id == InvalidPage {
+		return 0, fmt.Errorf("storage: page space exhausted")
+	}
+	var zero [PageSize]byte
+	if _, err := fb.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return 0, err
+	}
+	fb.n++
+	return id, nil
+}
+
+// NumPages implements Backend.
+func (fb *FileBackend) NumPages() PageID {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.n
+}
+
+// Sync implements Backend.
+func (fb *FileBackend) Sync() error { return fb.f.Sync() }
+
+// Close implements Backend.
+func (fb *FileBackend) Close() error { return fb.f.Close() }
+
+// Stats counts logical and physical page traffic through the pager.
+type Stats struct {
+	Fetches   int64 // logical page requests
+	Hits      int64 // served from the buffer pool
+	Misses    int64 // required a backend read
+	Writes    int64 // dirty pages written back to the backend
+	Evictions int64 // pages evicted to make room
+	Allocs    int64 // new pages allocated
+}
+
+// Page is a pinned buffer-pool frame. Data is the full page image; callers
+// must mark the frame dirty through Pager.Unpin when they modify it.
+type Page struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in LRU when unpinned
+}
+
+// Pager is the buffer pool: it caches up to capacity page frames over a
+// Backend, tracking pins, dirty state, and I/O statistics. All methods are
+// safe for concurrent use.
+type Pager struct {
+	mu       sync.Mutex
+	backend  Backend
+	capacity int
+	frames   map[PageID]*Page
+	lru      *list.List // of PageID, front = most recent, only unpinned pages
+	stats    Stats
+
+	freeList []PageID // pages released by dropped objects, reusable
+}
+
+// NewPager creates a buffer pool with the given frame capacity (minimum 8)
+// over the backend.
+func NewPager(b Backend, capacity int) *Pager {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pager{
+		backend:  b,
+		capacity: capacity,
+		frames:   make(map[PageID]*Page),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a snapshot of the pager's I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters (used between benchmark phases).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Fetch pins the page in the pool, reading it from the backend on a miss.
+// The caller must Unpin it when done.
+func (p *Pager) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if pg, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(pg)
+		return pg, nil
+	}
+	p.stats.Misses++
+	if err := p.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	pg := &Page{ID: id, Data: make([]byte, PageSize), pins: 1}
+	if err := p.backend.ReadPage(id, pg.Data); err != nil {
+		return nil, err
+	}
+	p.frames[id] = pg
+	return pg, nil
+}
+
+// NewPage allocates a fresh zeroed page (reusing freed pages when
+// available), pins it, and returns it marked dirty.
+func (p *Pager) NewPage() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var id PageID
+	if n := len(p.freeList); n > 0 {
+		id = p.freeList[n-1]
+		p.freeList = p.freeList[:n-1]
+	} else {
+		var err error
+		id, err = p.backend.Allocate()
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.stats.Allocs++
+	if err := p.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	pg := &Page{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
+	p.frames[id] = pg
+	return pg, nil
+}
+
+// Unpin releases one pin; dirty records that the caller modified the page.
+func (p *Pager) Unpin(pg *Page, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		pg.dirty = true
+	}
+	pg.pins--
+	if pg.pins < 0 {
+		panic("storage: page unpinned more times than pinned")
+	}
+	if pg.pins == 0 {
+		pg.elem = p.lru.PushFront(pg.ID)
+	}
+}
+
+// Free returns a page to the allocator for reuse. The page must be
+// unpinned; its contents are discarded.
+func (p *Pager) Free(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg, ok := p.frames[id]; ok {
+		if pg.pins > 0 {
+			panic("storage: freeing a pinned page")
+		}
+		if pg.elem != nil {
+			p.lru.Remove(pg.elem)
+		}
+		delete(p.frames, id)
+	}
+	p.freeList = append(p.freeList, id)
+}
+
+// FlushAll writes every dirty frame back to the backend and syncs it.
+func (p *Pager) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range p.frames {
+		if pg.dirty {
+			if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+				return err
+			}
+			p.stats.Writes++
+			pg.dirty = false
+		}
+	}
+	return p.backend.Sync()
+}
+
+// Close flushes and closes the underlying backend.
+func (p *Pager) Close() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	return p.backend.Close()
+}
+
+func (p *Pager) pinLocked(pg *Page) {
+	if pg.pins == 0 && pg.elem != nil {
+		p.lru.Remove(pg.elem)
+		pg.elem = nil
+	}
+	pg.pins++
+}
+
+// evictIfFullLocked makes room for one more frame by evicting the
+// least-recently-used unpinned page, writing it back if dirty. If every
+// frame is pinned the pool grows past capacity rather than failing,
+// matching the behaviour of real pools under pin pressure.
+func (p *Pager) evictIfFullLocked() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	back := p.lru.Back()
+	if back == nil {
+		return nil // all pinned; allow temporary growth
+	}
+	id := back.Value.(PageID)
+	p.lru.Remove(back)
+	victim := p.frames[id]
+	victim.elem = nil
+	if victim.dirty {
+		if err := p.backend.WritePage(victim.ID, victim.Data); err != nil {
+			return err
+		}
+		p.stats.Writes++
+	}
+	delete(p.frames, id)
+	p.stats.Evictions++
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package txn provides the engine's transaction facilities: per-transaction
+// undo logs with savepoints (statement-level atomicity and rollback),
+// database events (handlers fired at commit/rollback, the mechanism §5 of
+// the paper proposes for keeping externally-stored index data consistent),
+// and a table-level lock manager.
+//
+// Because domain index data stored inside the database is modified through
+// the same heap/B-tree primitives as base tables, its changes land on the
+// same undo log and roll back together with the base table — the paper's
+// "transactional semantics are automatically ensured" property. Index data
+// stored outside the database gets no such treatment; registering commit /
+// rollback event handlers is the escape hatch.
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Undoer reverses one logged change. Implementations exist in the storage
+// structures (heap undo, B-tree undo, LOB undo) and are pushed onto the
+// transaction as changes happen.
+type Undoer interface {
+	Undo() error
+}
+
+// UndoFunc adapts a closure to the Undoer interface.
+type UndoFunc func() error
+
+// Undo implements Undoer.
+func (f UndoFunc) Undo() error { return f() }
+
+// State is the lifecycle state of a transaction.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	RolledBack
+)
+
+// Txn is a single transaction: an undo log plus commit/rollback hooks.
+// A Txn is not safe for concurrent use; the session owning it serializes.
+type Txn struct {
+	ID    int64
+	mgr   *Manager
+	undo  []Undoer
+	state State
+	// Per-transaction event handlers, in addition to the manager-level
+	// ones. Index implementations with external stores attach these while
+	// the transaction runs (§5 of the paper).
+	onCommit   []func()
+	onRollback []func()
+}
+
+// OnCommit attaches a handler fired if (and only if) this transaction
+// commits.
+func (t *Txn) OnCommit(fn func()) { t.onCommit = append(t.onCommit, fn) }
+
+// OnRollback attaches a handler fired if (and only if) this transaction
+// rolls back.
+func (t *Txn) OnRollback(fn func()) { t.onRollback = append(t.onRollback, fn) }
+
+// Savepoint marks the current undo position; RollbackTo(sp) undoes
+// everything logged after it. The executor sets a savepoint before each
+// statement so a failed statement rolls back atomically without killing
+// the transaction (Oracle's statement-level atomicity).
+type Savepoint int
+
+// Manager creates transactions and owns the database-event registry.
+type Manager struct {
+	mu         sync.Mutex
+	nextID     int64
+	onCommit   []func(txID int64)
+	onRollback []func(txID int64)
+}
+
+// NewManager returns a transaction manager.
+func NewManager() *Manager { return &Manager{nextID: 1} }
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+	return &Txn{ID: id, mgr: m}
+}
+
+// OnCommit registers a database event handler invoked after every
+// successful commit. Indextypes that keep index data outside the database
+// register handlers here to make their external stores transactional (§5).
+func (m *Manager) OnCommit(fn func(txID int64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onCommit = append(m.onCommit, fn)
+}
+
+// OnRollback registers a database event handler invoked after every
+// rollback.
+func (m *Manager) OnRollback(fn func(txID int64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRollback = append(m.onRollback, fn)
+}
+
+func (m *Manager) commitHandlers() []func(int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]func(int64), len(m.onCommit))
+	copy(out, m.onCommit)
+	return out
+}
+
+func (m *Manager) rollbackHandlers() []func(int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]func(int64), len(m.onRollback))
+	copy(out, m.onRollback)
+	return out
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Record pushes an undo entry. It panics if the transaction is finished —
+// that is always an engine bug, not a user error.
+func (t *Txn) Record(u Undoer) {
+	if t.state != Active {
+		panic("txn: Record on finished transaction")
+	}
+	t.undo = append(t.undo, u)
+}
+
+// UndoDepth reports how many undo entries are logged (tests use it).
+func (t *Txn) UndoDepth() int { return len(t.undo) }
+
+// Savepoint returns a marker for the current undo position.
+func (t *Txn) Savepoint() Savepoint { return Savepoint(len(t.undo)) }
+
+// RollbackTo undoes, in reverse order, everything logged after sp.
+func (t *Txn) RollbackTo(sp Savepoint) error {
+	if t.state != Active {
+		return fmt.Errorf("txn: rollback-to on finished transaction")
+	}
+	if int(sp) > len(t.undo) {
+		return fmt.Errorf("txn: savepoint %d beyond undo log (%d)", sp, len(t.undo))
+	}
+	var firstErr error
+	for i := len(t.undo) - 1; i >= int(sp); i-- {
+		if err := t.undo[i].Undo(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.undo = t.undo[:sp]
+	return firstErr
+}
+
+// Commit finishes the transaction, discarding undo and firing commit
+// events.
+func (t *Txn) Commit() error {
+	if t.state != Active {
+		return fmt.Errorf("txn: commit on finished transaction")
+	}
+	t.state = Committed
+	t.undo = nil
+	for _, fn := range t.onCommit {
+		fn()
+	}
+	for _, fn := range t.mgr.commitHandlers() {
+		fn(t.ID)
+	}
+	return nil
+}
+
+// Rollback undoes every logged change in reverse order and fires rollback
+// events. It returns the first undo error but continues undoing.
+func (t *Txn) Rollback() error {
+	if t.state != Active {
+		return fmt.Errorf("txn: rollback on finished transaction")
+	}
+	err := t.RollbackTo(0)
+	t.state = RolledBack
+	for _, fn := range t.onRollback {
+		fn()
+	}
+	for _, fn := range t.mgr.rollbackHandlers() {
+		fn(t.ID)
+	}
+	return err
+}
+
+// LockManager hands out table-level shared/exclusive locks. Statements
+// declare every object they touch up front and the manager acquires the
+// locks in sorted name order, which makes deadlock impossible.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*sync.RWMutex
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[string]*sync.RWMutex)}
+}
+
+func (lm *LockManager) get(name string) *sync.RWMutex {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l, ok := lm.locks[name]
+	if !ok {
+		l = &sync.RWMutex{}
+		lm.locks[name] = l
+	}
+	return l
+}
+
+// Acquire locks each named object (shared by default, exclusive for names
+// in the exclusive set) in sorted order and returns a release function.
+func (lm *LockManager) Acquire(names []string, exclusive map[string]bool) (release func()) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	// De-duplicate, keeping exclusive if requested anywhere.
+	uniq := sorted[:0]
+	for i, n := range sorted {
+		if i == 0 || sorted[i-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	type held struct {
+		l  *sync.RWMutex
+		ex bool
+	}
+	hs := make([]held, 0, len(uniq))
+	for _, n := range uniq {
+		l := lm.get(n)
+		if exclusive[n] {
+			l.Lock()
+			hs = append(hs, held{l, true})
+		} else {
+			l.RLock()
+			hs = append(hs, held{l, false})
+		}
+	}
+	return func() {
+		for i := len(hs) - 1; i >= 0; i-- {
+			if hs[i].ex {
+				hs[i].l.Unlock()
+			} else {
+				hs[i].l.RUnlock()
+			}
+		}
+	}
+}

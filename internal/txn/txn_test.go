@@ -1,0 +1,220 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUndoOrderIsReverse(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	var order []int
+	for i := 1; i <= 3; i++ {
+		i := i
+		tx.Record(UndoFunc(func() error { order = append(order, i); return nil }))
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Errorf("undo order = %v, want [3 2 1]", order)
+	}
+	if tx.State() != RolledBack {
+		t.Error("state not RolledBack")
+	}
+}
+
+func TestSavepointPartialRollback(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	var undone []string
+	tx.Record(UndoFunc(func() error { undone = append(undone, "a"); return nil }))
+	sp := tx.Savepoint()
+	tx.Record(UndoFunc(func() error { undone = append(undone, "b"); return nil }))
+	tx.Record(UndoFunc(func() error { undone = append(undone, "c"); return nil }))
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(undone) != 2 || undone[0] != "c" || undone[1] != "b" {
+		t.Errorf("partial undo = %v, want [c b]", undone)
+	}
+	if tx.State() != Active {
+		t.Error("transaction should remain active after RollbackTo")
+	}
+	if tx.UndoDepth() != 1 {
+		t.Errorf("undo depth = %d, want 1", tx.UndoDepth())
+	}
+	// Full rollback undoes the remainder.
+	tx.Rollback()
+	if len(undone) != 3 || undone[2] != "a" {
+		t.Errorf("final undo = %v", undone)
+	}
+}
+
+func TestCommitDiscardsUndoAndFiresEvents(t *testing.T) {
+	m := NewManager()
+	var committed, rolled []int64
+	m.OnCommit(func(id int64) { committed = append(committed, id) })
+	m.OnRollback(func(id int64) { rolled = append(rolled, id) })
+
+	tx := m.Begin()
+	ran := false
+	tx.Record(UndoFunc(func() error { ran = true; return nil }))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("undo ran on commit")
+	}
+	if len(committed) != 1 || committed[0] != tx.ID {
+		t.Errorf("commit events = %v", committed)
+	}
+
+	tx2 := m.Begin()
+	tx2.Rollback()
+	if len(rolled) != 1 || rolled[0] != tx2.ID {
+		t.Errorf("rollback events = %v", rolled)
+	}
+	if tx2.ID == tx.ID {
+		t.Error("transaction ids not unique")
+	}
+}
+
+func TestFinishedTransactionRejectsUse(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Commit()
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit allowed")
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("rollback after commit allowed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Record after commit did not panic")
+		}
+	}()
+	tx.Record(UndoFunc(func() error { return nil }))
+}
+
+func TestRollbackCollectsFirstError(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	wantErr := errors.New("undo failure")
+	var last bool
+	tx.Record(UndoFunc(func() error { last = true; return nil }))
+	tx.Record(UndoFunc(func() error { return errors.New("earlier-recorded error, masked") }))
+	// Undo runs in reverse order, so this last-recorded entry fails first
+	// and its error is the one reported.
+	tx.Record(UndoFunc(func() error { return wantErr }))
+	err := tx.Rollback()
+	if !errors.Is(err, wantErr) {
+		t.Errorf("Rollback error = %v, want %v", err, wantErr)
+	}
+	if !last {
+		t.Error("rollback stopped at first error instead of continuing")
+	}
+}
+
+func TestRollbackToBadSavepoint(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if err := tx.RollbackTo(Savepoint(5)); err == nil {
+		t.Error("rollback to bogus savepoint allowed")
+	}
+}
+
+func TestLockManagerExclusion(t *testing.T) {
+	lm := NewLockManager()
+	rel := lm.Acquire([]string{"t1"}, map[string]bool{"t1": true})
+	acquired := make(chan struct{})
+	go func() {
+		rel2 := lm.Acquire([]string{"t1"}, map[string]bool{"t1": true})
+		close(acquired)
+		rel2()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second exclusive lock acquired while first held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	rel()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("second lock never acquired after release")
+	}
+}
+
+func TestLockManagerSharedConcurrency(t *testing.T) {
+	lm := NewLockManager()
+	var wg sync.WaitGroup
+	inside := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel := lm.Acquire([]string{"t"}, nil)
+			inside <- struct{}{}
+			time.Sleep(20 * time.Millisecond)
+			rel()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("shared locks did not run concurrently")
+	}
+	if len(inside) != 2 {
+		t.Error("both readers should have entered")
+	}
+}
+
+func TestLockManagerNoSelfDeadlockOnDuplicates(t *testing.T) {
+	lm := NewLockManager()
+	done := make(chan struct{})
+	go func() {
+		rel := lm.Acquire([]string{"a", "a", "b", "a"}, map[string]bool{"a": true})
+		rel()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("duplicate names deadlocked the acquirer")
+	}
+}
+
+func TestLockManagerManyTablesStress(t *testing.T) {
+	lm := NewLockManager()
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Different goroutines request overlapping sets in different
+			// orders; sorted acquisition must prevent deadlock.
+			set := []string{names[i%4], names[(i+1)%4]}
+			ex := map[string]bool{}
+			if i%2 == 0 {
+				ex[set[0]] = true
+			}
+			rel := lm.Acquire(set, ex)
+			time.Sleep(time.Millisecond)
+			rel()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stress workload deadlocked")
+	}
+}

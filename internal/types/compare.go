@@ -1,0 +1,133 @@
+package types
+
+import "strings"
+
+// Compare orders two non-NULL values of the same comparable kind.
+// It returns (-1|0|+1, true) when the pair is comparable, and (0, false)
+// when either side is NULL or the kinds are incompatible — the SQL
+// "unknown" outcome. Numbers compare numerically, strings
+// lexicographically (byte order, as Oracle does with BINARY sorting),
+// booleans with FALSE < TRUE, LOB locators by id, and arrays
+// element-wise (shorter prefix first). Objects are not ordered.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindNumber, KindLOB:
+		switch {
+		case a.num < b.num:
+			return -1, true
+		case a.num > b.num:
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		return strings.Compare(a.str, b.str), true
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, true
+		case a.b && !b.b:
+			return 1, true
+		}
+		return 0, true
+	case KindArray:
+		n := len(a.arr)
+		if len(b.arr) < n {
+			n = len(b.arr)
+		}
+		for i := 0; i < n; i++ {
+			c, ok := Compare(a.arr[i], b.arr[i])
+			if !ok {
+				return 0, false
+			}
+			if c != 0 {
+				return c, true
+			}
+		}
+		switch {
+		case len(a.arr) < len(b.arr):
+			return -1, true
+		case len(a.arr) > len(b.arr):
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are equal under SQL semantics
+// (NULL equals nothing, including NULL). Objects compare by type name and
+// element-wise attribute equality.
+func Equal(a, b Value) bool {
+	if a.kind == KindObject && b.kind == KindObject {
+		if !strings.EqualFold(a.obj.TypeName, b.obj.TypeName) || len(a.obj.Attrs) != len(b.obj.Attrs) {
+			return false
+		}
+		for i := range a.obj.Attrs {
+			if !Equal(a.obj.Attrs[i], b.obj.Attrs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports whether two values are indistinguishable, treating
+// NULL as identical to NULL. It is the equality used by storage-level
+// round-trip checks and tests, not by SQL predicates.
+func Identical(a, b Value) bool {
+	if a.kind == KindNull && b.kind == KindNull {
+		return true
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind == KindObject {
+		if !strings.EqualFold(a.obj.TypeName, b.obj.TypeName) || len(a.obj.Attrs) != len(b.obj.Attrs) {
+			return false
+		}
+		for i := range a.obj.Attrs {
+			if !Identical(a.obj.Attrs[i], b.obj.Attrs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if a.kind == KindArray {
+		if len(a.arr) != len(b.arr) {
+			return false
+		}
+		for i := range a.arr {
+			if !Identical(a.arr[i], b.arr[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return Equal(a, b)
+}
+
+// Less is a total order used for sorting rows: NULLs sort last, mixed
+// kinds sort by kind id, and otherwise Compare decides. It exists so that
+// ORDER BY produces a deterministic order even on heterogeneous input.
+func Less(a, b Value) bool {
+	if a.kind == KindNull {
+		return false // NULLs last
+	}
+	if b.kind == KindNull {
+		return true
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	c, ok := Compare(a, b)
+	return ok && c < 0
+}

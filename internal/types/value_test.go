@@ -1,0 +1,304 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindNumber: "NUMBER",
+		KindString: "VARCHAR2",
+		KindBool:   "BOOLEAN",
+		KindLOB:    "LOB",
+		KindObject: "OBJECT",
+		KindArray:  "VARRAY",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"VARCHAR2", KindString},
+		{"varchar", KindString},
+		{" Integer ", KindNumber},
+		{"NUMBER", KindNumber},
+		{"BOOLEAN", KindBool},
+		{"BLOB", KindLOB},
+		{"VARRAY", KindArray},
+	} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseKind("GEOMETRYZZZ"); err == nil {
+		t.Error("ParseKind accepted unknown type name")
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull {
+		t.Fatalf("zero Value should be NULL, got %s", v)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Num(3.5).Float() != 3.5 {
+		t.Error("Num/Float mismatch")
+	}
+	if Int(42).Int64() != 42 {
+		t.Error("Int/Int64 mismatch")
+	}
+	if Str("abc").Text() != "abc" {
+		t.Error("Str/Text mismatch")
+	}
+	if !Bool(true).Truth() || Bool(false).Truth() || Null().Truth() {
+		t.Error("Truth semantics wrong")
+	}
+	if LOB(7).LOBID() != 7 || Num(7).LOBID() != 0 {
+		t.Error("LOBID semantics wrong")
+	}
+	o := Obj("POINT", Num(1), Num(2))
+	if o.Object() == nil || o.Object().TypeName != "POINT" || len(o.Object().Attrs) != 2 {
+		t.Error("object accessors wrong")
+	}
+	a := Arr(Str("x"), Str("y"))
+	if len(a.Elems()) != 2 || a.Elems()[1].Text() != "y" {
+		t.Error("array accessors wrong")
+	}
+	if Num(1).Object() != nil || Num(1).Elems() != nil {
+		t.Error("cross-kind accessors should return zero values")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Num(2.5), "2.5"},
+		{Str("hi"), "hi"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+		{LOB(9), "LOB(9)"},
+		{Obj("PT", Num(1), Num(2)), "PT(1, 2)"},
+		{Arr(Num(1), Str("a")), "VARRAY(1, a)"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cmp := func(a, b Value) int {
+		c, ok := Compare(a, b)
+		if !ok {
+			t.Fatalf("Compare(%s,%s) not comparable", a, b)
+		}
+		return c
+	}
+	if cmp(Num(1), Num(2)) != -1 || cmp(Num(2), Num(1)) != 1 || cmp(Num(2), Num(2)) != 0 {
+		t.Error("number comparison wrong")
+	}
+	if cmp(Str("a"), Str("b")) != -1 || cmp(Str("b"), Str("b")) != 0 {
+		t.Error("string comparison wrong")
+	}
+	if cmp(Bool(false), Bool(true)) != -1 {
+		t.Error("bool comparison wrong")
+	}
+	if cmp(Arr(Num(1)), Arr(Num(1), Num(2))) != -1 {
+		t.Error("array prefix comparison wrong")
+	}
+}
+
+func TestCompareNullAndMixed(t *testing.T) {
+	if _, ok := Compare(Null(), Num(1)); ok {
+		t.Error("NULL comparison should be unknown")
+	}
+	if _, ok := Compare(Num(1), Str("1")); ok {
+		t.Error("mixed-kind comparison should be unknown")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL must not equal NULL under SQL semantics")
+	}
+	if !Identical(Null(), Null()) {
+		t.Error("NULL must be Identical to NULL")
+	}
+}
+
+func TestEqualObjects(t *testing.T) {
+	a := Obj("PT", Num(1), Str("x"))
+	b := Obj("pt", Num(1), Str("x"))
+	c := Obj("PT", Num(1), Str("y"))
+	if !Equal(a, b) {
+		t.Error("case-insensitive object type equality failed")
+	}
+	if Equal(a, c) {
+		t.Error("objects with different attrs reported equal")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	vs := []Value{Null(), Str("b"), Num(3), Num(1), Str("a")}
+	SortValues(vs)
+	// Numbers sort before strings (kind order), NULL last.
+	want := []Value{Num(1), Num(3), Str("a"), Str("b"), Null()}
+	for i := range vs {
+		if !Identical(vs[i], want[i]) {
+			t.Fatalf("sorted[%d] = %s, want %s", i, vs[i], want[i])
+		}
+	}
+}
+
+func TestTypeDescValidate(t *testing.T) {
+	td := &TypeDesc{
+		Name:      "POINT",
+		AttrNames: []string{"X", "Y"},
+		AttrKinds: []Kind{KindNumber, KindNumber},
+	}
+	if td.AttrIndex("y") != 1 || td.AttrIndex("z") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	if err := td.Validate(Obj("POINT", Num(1), Num(2))); err != nil {
+		t.Errorf("valid object rejected: %v", err)
+	}
+	if err := td.Validate(Obj("POINT", Num(1), Num(2), Num(3))); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := td.Validate(Obj("POINT", Num(1), Str("x"))); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := td.Validate(Obj("POINT", Num(1), Null())); err != nil {
+		t.Errorf("NULL attribute rejected: %v", err)
+	}
+	if err := td.Validate(Num(1)); err == nil {
+		t.Error("non-object accepted")
+	}
+}
+
+// genValue builds a pseudo-random scalar value from quick-check inputs.
+func genValue(sel uint8, f float64, s string, b bool) Value {
+	switch sel % 5 {
+	case 0:
+		return Null()
+	case 1:
+		if math.IsNaN(f) {
+			f = 0
+		}
+		return Num(f)
+	case 2:
+		return Str(s)
+	case 3:
+		return Bool(b)
+	default:
+		return LOB(int64(f))
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	prop := func(s1, s2 uint8, f1, f2 float64, a, b string, b1, b2 bool) bool {
+		x := genValue(s1, f1, a, b1)
+		y := genValue(s2, f2, b, b2)
+		cxy, ok1 := Compare(x, y)
+		cyx, ok2 := Compare(y, x)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return cxy == -cyx
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyOrderMatchesCompare(t *testing.T) {
+	prop := func(f1, f2 float64, s1, s2 string) bool {
+		if math.IsNaN(f1) || math.IsNaN(f2) {
+			return true
+		}
+		// Numbers.
+		k1 := EncodeKey(nil, Num(f1))
+		k2 := EncodeKey(nil, Num(f2))
+		c, _ := Compare(Num(f1), Num(f2))
+		if sign(bytesCompare(k1, k2)) != sign(c) {
+			return false
+		}
+		// Strings.
+		k1 = EncodeKey(nil, Str(s1))
+		k2 = EncodeKey(nil, Str(s2))
+		c, _ = Compare(Str(s1), Str(s2))
+		return sign(bytesCompare(k1, k2)) == sign(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return sign(len(a) - len(b))
+}
+
+func TestKeyNullSortsLast(t *testing.T) {
+	kn := EncodeKey(nil, Null())
+	for _, v := range []Value{Num(math.MaxFloat64), Str("\xff\xff"), Bool(true), LOB(math.MaxInt64)} {
+		if bytesCompare(EncodeKey(nil, v), kn) >= 0 {
+			t.Errorf("key for %s does not sort before NULL key", v)
+		}
+	}
+}
+
+func TestCompositeKeyOrder(t *testing.T) {
+	k1 := CompositeKey(Str("abc"), Num(1))
+	k2 := CompositeKey(Str("abc"), Num(2))
+	k3 := CompositeKey(Str("abd"), Num(0))
+	if bytesCompare(k1, k2) >= 0 || bytesCompare(k2, k3) >= 0 {
+		t.Error("composite keys out of order")
+	}
+	// Prefix safety: "ab" < "abc" even though one is a prefix.
+	if bytesCompare(CompositeKey(Str("ab")), CompositeKey(Str("abc"))) >= 0 {
+		t.Error("prefix string keys out of order")
+	}
+	// Embedded zero bytes must not break ordering.
+	if bytesCompare(CompositeKey(Str("a\x00b")), CompositeKey(Str("a\x00c"))) >= 0 {
+		t.Error("embedded-zero string keys out of order")
+	}
+}

@@ -1,0 +1,75 @@
+// Package wordgen generates synthetic document corpora with Zipfian token
+// frequencies. The paper's text experiments ran on real document sets we
+// do not have; a Zipf-distributed vocabulary preserves the property that
+// matters to an inverted index — a few very common tokens and a long tail
+// of rare ones — so query selectivity spans the same range.
+package wordgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generator produces deterministic pseudo-random documents.
+type Generator struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	vocab int
+}
+
+// New returns a generator over a vocabulary of vocab tokens, seeded
+// deterministically.
+func New(seed int64, vocab int) *Generator {
+	if vocab < 2 {
+		vocab = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, 1.2, 1, uint64(vocab-1)),
+		vocab: vocab,
+	}
+}
+
+// Word returns the token with the given frequency rank (0 = most common).
+func Word(rank int) string { return fmt.Sprintf("w%05d", rank) }
+
+// RareWord returns a token from the rare end of the vocabulary (rank
+// counted back from the tail), for low-selectivity queries.
+func (g *Generator) RareWord(back int) string { return Word(g.vocab - 1 - back) }
+
+// CommonWord returns a token from the common end (rank 0 is the most
+// frequent), for high-selectivity queries.
+func (g *Generator) CommonWord(rank int) string { return Word(rank) }
+
+// Document returns a document of n Zipf-sampled tokens.
+func (g *Generator) Document(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(Word(int(g.zipf.Uint64())))
+	}
+	return sb.String()
+}
+
+// DocumentWith returns a document of n sampled tokens guaranteed to
+// contain each of the given extra tokens once.
+func (g *Generator) DocumentWith(n int, extra ...string) string {
+	doc := g.Document(n)
+	if len(extra) == 0 {
+		return doc
+	}
+	return doc + " " + strings.Join(extra, " ")
+}
+
+// Corpus returns nDocs documents of wordsPerDoc tokens each.
+func (g *Generator) Corpus(nDocs, wordsPerDoc int) []string {
+	out := make([]string, nDocs)
+	for i := range out {
+		out[i] = g.Document(wordsPerDoc)
+	}
+	return out
+}

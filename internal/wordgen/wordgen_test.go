@@ -1,0 +1,72 @@
+package wordgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 1000).Document(50)
+	b := New(42, 1000).Document(50)
+	if a != b {
+		t.Error("same seed produced different documents")
+	}
+	c := New(43, 1000).Document(50)
+	if a == c {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestDocumentShape(t *testing.T) {
+	g := New(7, 500)
+	doc := g.Document(30)
+	words := strings.Fields(doc)
+	if len(words) != 30 {
+		t.Fatalf("words = %d", len(words))
+	}
+	for _, w := range words {
+		if !strings.HasPrefix(w, "w") {
+			t.Fatalf("bad token %q", w)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(1, 2000)
+	counts := map[string]int{}
+	for _, d := range g.Corpus(500, 40) {
+		for _, w := range strings.Fields(d) {
+			counts[w]++
+		}
+	}
+	// The most common token should dominate a mid-rank token heavily.
+	if counts[Word(0)] < 10*counts[Word(200)]+1 {
+		t.Errorf("no Zipf skew: rank0=%d rank200=%d", counts[Word(0)], counts[Word(200)])
+	}
+	// Rare words exist but are rare.
+	rare := g.RareWord(0)
+	if counts[rare] > counts[Word(0)]/10 {
+		t.Errorf("rare word too common: %d", counts[rare])
+	}
+}
+
+func TestDocumentWith(t *testing.T) {
+	g := New(3, 100)
+	doc := g.DocumentWith(10, "needleterm", "otherterm")
+	if !strings.Contains(doc, "needleterm") || !strings.Contains(doc, "otherterm") {
+		t.Error("extra tokens missing")
+	}
+	if g.DocumentWith(5) == "" {
+		t.Error("empty extra list broke generation")
+	}
+}
+
+func TestWordNaming(t *testing.T) {
+	if Word(3) != "w00003" {
+		t.Errorf("Word(3) = %q", Word(3))
+	}
+	g := New(1, 100)
+	if g.CommonWord(0) != Word(0) || g.RareWord(0) != Word(99) {
+		t.Error("common/rare word ranks wrong")
+	}
+}
