@@ -1,0 +1,28 @@
+GO ?= go
+
+RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx
+
+.PHONY: build vet lint test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## lint: run the codebase-specific static analyzers (cmd/vetx)
+lint:
+	$(GO) run ./cmd/vetx ./...
+
+test:
+	$(GO) test ./...
+
+## race: race detector + runtime invariant checks on the concurrency-bearing packages
+race:
+	$(GO) test -race -tags invariants $(RACE_PKGS)
+
+## check: everything CI runs
+check: build vet lint test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

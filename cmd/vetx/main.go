@@ -1,0 +1,62 @@
+// Command vetx runs the repo's codebase-specific static analyzers (see
+// internal/vetx): lockbalance, pinbalance, erraudit, callbackcontract and
+// layering. Usage:
+//
+//	go run ./cmd/vetx ./...
+//	go run ./cmd/vetx -list
+//	go run ./cmd/vetx ./internal/storage ./internal/btree/...
+//
+// Exit status is 1 when any finding survives suppression, so the command
+// slots directly into CI and the Makefile `lint` target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vetx"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := vetx.DefaultAnalyzers()
+	if *list {
+		for _, an := range analyzers {
+			fmt.Printf("%-18s %s\n", an.Name, an.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := vetx.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := vetx.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings := vetx.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vetx: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

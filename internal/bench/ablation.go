@@ -70,7 +70,7 @@ func A1CallbacksVsDirect(cfg Config) Table {
 			fmt.Sprintf("%.1fµs", float64(insTime.Microseconds())/float64(n/2)),
 			ms(qTime / 10), mode.rollback,
 		})
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }

@@ -104,6 +104,14 @@ func newDB() (*engine.DB, *engine.Session) {
 	return db, db.NewSession()
 }
 
+// mustClose tears down a per-iteration database; a close failure means
+// the experiment corrupted state, so the whole sweep aborts.
+func mustClose(db *engine.DB) {
+	if err := db.Close(); err != nil {
+		panic(fmt.Sprintf("bench: close database: %v", err))
+	}
+}
+
 func timed(f func()) time.Duration {
 	start := time.Now()
 	f()

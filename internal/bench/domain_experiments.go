@@ -65,7 +65,7 @@ func E3SpatialTileJoinVsOperator(cfg Config) Table {
 			ratio(legacyTime, opTime),
 			fmt.Sprint(len(legacySQL)), fmt.Sprint(len(opSQL)),
 		})
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }
@@ -119,7 +119,7 @@ func E4VIRPhases(cfg Config) Table {
 			ratio(fullTime, idxTime),
 			fmt.Sprint(pc.Phase1), fmt.Sprint(pc.Phase2), fmt.Sprint(pc.Phase3),
 		})
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }
@@ -192,7 +192,7 @@ func E5ChemFileVsLOB(cfg Config) Table {
 			name: mode, build: ms(buildTime), physWrites: phys,
 			query: ms(queryTime), hits: hits, simQ: ms(simTime),
 		})
-		db.Close()
+		mustClose(db)
 	}
 	if results[0].hits != results[1].hits {
 		panic("E5 stores disagree")

@@ -132,7 +132,7 @@ func E2TextPre8iVs8i(cfg Config) Table {
 				fmt.Sprint(twoIO), fmt.Sprint(pipeIO),
 			})
 		}
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }
@@ -206,7 +206,7 @@ func E7ScanContext(cfg Config) Table {
 			must1(s.Query(`SELECT id FROM docs WHERE Contains(body, ?) LIMIT 1`, types.Str(kw)))
 		})
 		t.Rows = append(t.Rows, []string{mode, ms(drain), ms(first)})
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }
@@ -275,7 +275,7 @@ func E9MaintenanceOverhead(cfg Config) Table {
 			fmt.Sprint(withIdx), fmt.Sprint(n), ms(d),
 			fmt.Sprintf("%.1fµs", float64(d.Microseconds())/float64(n)),
 		})
-		db.Close()
+		mustClose(db)
 	}
 	return t
 }

@@ -273,7 +273,12 @@ func (t *BTree) Set(key, val []byte) error {
 		}
 		newRoot.serialize(pg.Data)
 		t.pager.Unpin(pg, true)
-		return t.setRoot(newRoot.id)
+		if err := t.setRoot(newRoot.id); err != nil {
+			return err
+		}
+	}
+	if invariantsEnabled {
+		t.mustValid("Set")
 	}
 	return nil
 }
@@ -392,7 +397,13 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 	}
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.vals = append(n.vals[:i], n.vals[i+1:]...)
-	return true, t.store(n)
+	if err := t.store(n); err != nil {
+		return false, err
+	}
+	if invariantsEnabled {
+		t.mustValid("Delete")
+	}
+	return true, nil
 }
 
 // Iterator walks leaf entries in ascending key order.

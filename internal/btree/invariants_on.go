@@ -1,0 +1,8 @@
+//go:build invariants
+
+package btree
+
+// invariantsEnabled compiles in full-tree structural validation after
+// every Set/Delete. CI runs the race suite with `-tags invariants`;
+// default builds compile the checks away entirely.
+const invariantsEnabled = true

@@ -1,0 +1,62 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestValidate(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 64)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough entries to force splits (multi-level tree).
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i*7919%2000))
+		if err := tr.Set(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, err := tr.Height(); err != nil || h < 2 {
+		t.Fatalf("Height = %d, %v; want a multi-level tree", h, err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after inserts: %v", err)
+	}
+	for i := 0; i < 2000; i += 3 {
+		if _, err := tr.Delete([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after deletes: %v", err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	p := storage.NewPager(storage.NewMemBackend(), 64)
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"alpha", "bravo", "charlie", "delta"} {
+		if err := tr.Set([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Swap two keys in the root leaf, breaking the ordering invariant.
+	n, err := tr.load(tr.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.keys[0], n.keys[1] = n.keys[1], n.keys[0]
+	if err := tr.store(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted a leaf with out-of-order keys")
+	}
+}

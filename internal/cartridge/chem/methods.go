@@ -142,6 +142,8 @@ type chemIdx struct {
 
 // store returns the blob store to use for this index: the session's
 // transactional LOB store, or the index's private file store.
+//
+//vetx:ignore callbackcontract -- accessor, not an engine-invoked callback: selecting a store cannot fail
 func (ci *chemIdx) store(s extidx.Server) loblib.Store {
 	if ci.fileStore != nil {
 		return ci.fileStore
@@ -330,6 +332,7 @@ func (m *Methods) Insert(s extidx.Server, info extidx.IndexInfo, rid int64, newV
 		// Database events (§5): compensate the external write on abort.
 		s.OnTxnRollback(func() {
 			if bb, err := ci.fileStore.Open(ci.blobID); err == nil {
+				//vetx:ignore erraudit -- rollback hooks have no error channel; compensation is best-effort
 				bb.Truncate(end)
 			}
 		})
@@ -395,6 +398,7 @@ func (m *Methods) Delete(s extidx.Server, info extidx.IndexInfo, rid int64, oldV
 	if ci.fileStore != nil && ci.params.events {
 		s.OnTxnRollback(func() {
 			if bb, err := ci.fileStore.Open(ci.blobID); err == nil {
+				//vetx:ignore erraudit -- rollback hooks have no error channel; compensation is best-effort
 				bb.WriteAt([]byte{0}, deadOff+8)
 			}
 		})

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitmapidx"
@@ -251,12 +252,12 @@ func (s *Session) createIndex(x *sql.CreateIndex) error {
 		// through callbacks.
 		m, _, err := s.indexMethodsFor(ix)
 		if err != nil {
-			s.db.cat.DropIndex(ix.Name)
-			return err
+			_, derr := s.db.cat.DropIndex(ix.Name)
+			return errors.Join(err, derr)
 		}
 		if err := m.Create(s.server(extidx.ModeDefinition, ix.Table), infoFor(ix, t)); err != nil {
-			s.db.cat.DropIndex(ix.Name)
-			return fmt.Errorf("ODCIIndexCreate(%s): %w", ix.Name, err)
+			_, derr := s.db.cat.DropIndex(ix.Name)
+			return errors.Join(fmt.Errorf("ODCIIndexCreate(%s): %w", ix.Name, err), derr)
 		}
 		return nil
 	}
@@ -275,9 +276,8 @@ func (s *Session) createIndex(x *sql.CreateIndex) error {
 		return true, nil
 	})
 	if err != nil {
-		s.db.cat.DropIndex(ix.Name)
-		s.teardownIndex(ix)
-		return err
+		_, derr := s.db.cat.DropIndex(ix.Name)
+		return errors.Join(err, derr, s.teardownIndex(ix))
 	}
 	ix.DistinctKeys = len(distinct)
 	return nil

@@ -153,9 +153,12 @@ func (db *DB) SaveSnapshot() error {
 		id = next
 	}
 
-	// Write the new chain.
+	// Write the new chain. Each page is unpinned within its own loop
+	// iteration (the back-link is patched through a re-fetch, which hits
+	// the buffer cache) so an allocation failure part-way through cannot
+	// leak a pinned frame.
 	head := storage.InvalidPage
-	var prev *storage.Page
+	prev := storage.InvalidPage
 	for off := 0; off < len(data) || off == 0; off += snapPayload {
 		npg, err := db.pager.NewPage()
 		if err != nil {
@@ -168,19 +171,22 @@ func (db *DB) SaveSnapshot() error {
 		}
 		binary.BigEndian.PutUint16(npg.Data[4:6], uint16(n))
 		copy(npg.Data[snapPageHeader:], data[off:off+n])
-		if prev != nil {
-			binary.BigEndian.PutUint32(prev.Data[0:4], uint32(npg.ID))
-			db.pager.Unpin(prev, true)
+		id := npg.ID
+		db.pager.Unpin(npg, true)
+		if prev != storage.InvalidPage {
+			ppg, err := db.pager.Fetch(prev)
+			if err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint32(ppg.Data[0:4], uint32(id))
+			db.pager.Unpin(ppg, true)
 		} else {
-			head = npg.ID
+			head = id
 		}
-		prev = npg
+		prev = id
 		if n < snapPayload {
 			break
 		}
-	}
-	if prev != nil {
-		db.pager.Unpin(prev, true)
 	}
 	pg, err = db.pager.Fetch(0)
 	if err != nil {

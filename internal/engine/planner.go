@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -660,8 +661,7 @@ func (s *Session) buildTableAccess(tb *tableBinding, conjuncts []sql.Expr, param
 	if len(residual) > 0 {
 		pred, err := s.compileConjuncts(residual, tb.schema, params)
 		if err != nil {
-			it.Close()
-			return nil, path, err
+			return nil, path, errors.Join(err, it.Close())
 		}
 		it = &exec.Filter{Child: it, Pred: pred}
 	}
@@ -901,8 +901,7 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 		if domJoin != nil {
 			innerPred, err := s.compileConjuncts(innerConj, inner.schema, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			dj := domJoin
 			innerFactory = func(outer exec.Row) (exec.Iterator, error) {
@@ -933,13 +932,11 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 		} else if keyRowid {
 			keyC, err := exec.Compile(keyExpr, curSchema, s, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			innerPred, err := s.compileConjuncts(innerConj, inner.schema, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			heap := inner.tbl.Heap
 			innerFactory = func(outer exec.Row) (exec.Iterator, error) {
@@ -964,13 +961,11 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 		} else if keyIdx != nil {
 			keyC, err := exec.Compile(keyExpr, curSchema, s, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			innerPred, err := s.compileConjuncts(innerConj, inner.schema, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			ix := keyIdx
 			innerFactory = func(outer exec.Row) (exec.Iterator, error) {
@@ -1000,8 +995,7 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 		if len(residualJoin) > 0 {
 			pred, err := s.compileConjuncts(residualJoin, joined, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			it = &exec.Filter{Child: it, Pred: pred}
 		}
@@ -1018,8 +1012,7 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 	if len(rest) > 0 {
 		pred, err := s.compileConjuncts(rest, curSchema, params)
 		if err != nil {
-			it.Close()
-			return nil, nil, nil, err
+			return nil, nil, nil, errors.Join(err, it.Close())
 		}
 		it = &exec.Filter{Child: it, Pred: pred}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -43,7 +44,9 @@ func (s *Session) Explain(sel *sql.Select, params []types.Value) (*ResultSet, er
 	if err != nil {
 		return nil, err
 	}
-	it.Close()
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
 	rs := &ResultSet{Columns: []string{"PLAN"}}
 	for _, d := range descs {
 		rs.Rows = append(rs.Rows, []types.Value{types.Str(d)})
@@ -111,8 +114,7 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 		var err error
 		it, schema, sel, err = s.buildAggregate(it, schema, sel, params)
 		if err != nil {
-			it.Close()
-			return nil, nil, nil, err
+			return nil, nil, nil, errors.Join(err, it.Close())
 		}
 		descs = append(descs, "HASH GROUP BY")
 	}
@@ -133,8 +135,7 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 				cr := sql.ColumnRef{Table: sc.Qualifier, Name: sc.Name}
 				c, err := exec.Compile(cr, schema, s, params)
 				if err != nil {
-					it.Close()
-					return nil, nil, nil, err
+					return nil, nil, nil, errors.Join(err, it.Close())
 				}
 				exprs = append(exprs, c)
 				itemExprs = append(itemExprs, cr)
@@ -144,8 +145,7 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 		}
 		c, err := exec.Compile(item.Expr, schema, s, params)
 		if err != nil {
-			it.Close()
-			return nil, nil, nil, err
+			return nil, nil, nil, errors.Join(err, it.Close())
 		}
 		exprs = append(exprs, c)
 		itemExprs = append(itemExprs, item.Expr)
@@ -179,13 +179,13 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 		}
 		if pos < 0 {
 			if sel.Distinct {
-				it.Close()
-				return nil, nil, nil, fmt.Errorf("engine: ORDER BY expression must appear in the select list with DISTINCT")
+				return nil, nil, nil, errors.Join(
+					fmt.Errorf("engine: ORDER BY expression must appear in the select list with DISTINCT"),
+					it.Close())
 			}
 			c, err := exec.Compile(oi.Expr, schema, s, params)
 			if err != nil {
-				it.Close()
-				return nil, nil, nil, err
+				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			exprs = append(exprs, c)
 			pos = len(exprs) - 1

@@ -46,7 +46,10 @@ func (t txLOBStore) Open(id int64) (loblib.Blob, error) {
 // remains readable until the transaction resolves.
 func (t txLOBStore) Delete(id int64) error {
 	if t.s.tx != nil && t.s.tx.State() == txn.Active {
-		t.s.tx.OnCommit(func() { t.s.db.lobs.Delete(id) })
+		t.s.tx.OnCommit(func() {
+			//vetx:ignore erraudit -- commit hooks have no error channel; deferred LOB removal is best-effort GC
+			t.s.db.lobs.Delete(id)
+		})
 		return nil
 	}
 	return t.s.db.lobs.Delete(id)

@@ -301,8 +301,11 @@ func (j *NestedLoopJoin) Next() (Row, error) {
 			return nil, err
 		}
 		if ir == nil {
-			j.curInner.Close()
+			err := j.curInner.Close()
 			j.curInner = nil
+			if err != nil {
+				return nil, err
+			}
 			continue
 		}
 		out := make(Row, 0, len(j.curOuter)+len(ir))
@@ -314,11 +317,15 @@ func (j *NestedLoopJoin) Next() (Row, error) {
 
 // Close implements Iterator.
 func (j *NestedLoopJoin) Close() error {
+	var err error
 	if j.curInner != nil {
-		j.curInner.Close()
+		err = j.curInner.Close()
 		j.curInner = nil
 	}
-	return j.Outer.Close()
+	if oerr := j.Outer.Close(); err == nil {
+		err = oerr
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------

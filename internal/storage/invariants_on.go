@@ -1,0 +1,9 @@
+//go:build invariants
+
+package storage
+
+// invariantsEnabled compiles in the runtime structural checks: slotted
+// heap-page validation after every mutation and the pin-leak check at
+// Pager.Close. CI runs the race suite with `-tags invariants`; default
+// builds compile the checks away entirely.
+const invariantsEnabled = true

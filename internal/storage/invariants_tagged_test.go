@@ -1,0 +1,28 @@
+//go:build invariants
+
+package storage
+
+import "testing"
+
+// TestCloseWithPinnedPagePanics proves the invariants build turns a pin
+// leak into a loud failure at Close instead of a silently wired frame.
+func TestCloseWithPinnedPagePanics(t *testing.T) {
+	p := NewPager(NewMemBackend(), 8)
+	pg, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Close with a pinned page did not panic under -tags invariants")
+			}
+		}()
+		p.Close()
+	}()
+	// Release the pin and close for real.
+	p.Unpin(pg, false)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestValidatePage(t *testing.T) {
+	d := make([]byte, PageSize)
+	initPage(d)
+	if err := validatePage(d); err != nil {
+		t.Fatalf("empty page: %v", err)
+	}
+
+	s1, err := pageInsert(d, []byte("first record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := pageInsert(d, bytes.Repeat([]byte("x"), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validatePage(d); err != nil {
+		t.Fatalf("page with two records: %v", err)
+	}
+
+	// dataStart colliding with the slot array.
+	saveDS := pageDataStart(d)
+	setPageDataStart(d, pageHeaderSize-2)
+	if err := validatePage(d); err == nil {
+		t.Error("corrupt dataStart not detected")
+	}
+	setPageDataStart(d, saveDS)
+
+	// Slot data hanging off the end of the page.
+	off1, len1 := slotOffLen(d, s1)
+	setSlot(d, s1, PageSize-4, 8)
+	if err := validatePage(d); err == nil {
+		t.Error("out-of-bounds slot not detected")
+	}
+	setSlot(d, s1, off1, len1)
+
+	// Two slots claiming overlapping data.
+	off2, len2 := slotOffLen(d, s2)
+	setSlot(d, s2, off1, len1)
+	if err := validatePage(d); err == nil {
+		t.Error("overlapping slots not detected")
+	}
+	setSlot(d, s2, off2, len2)
+
+	// An empty slot must be fully zeroed.
+	if err := pageDelete(d, s1); err != nil {
+		t.Fatal(err)
+	}
+	setSlot(d, s1, 17, 0)
+	if err := validatePage(d); err == nil {
+		t.Error("non-zero empty slot not detected")
+	}
+	setSlot(d, s1, 0, 0)
+
+	if err := validatePage(d); err != nil {
+		t.Fatalf("restored page: %v", err)
+	}
+}
+
+func TestPinnedPages(t *testing.T) {
+	p := NewPager(NewMemBackend(), 8)
+	if got := p.PinnedPages(); len(got) != 0 {
+		t.Fatalf("fresh pager reports pinned pages %v", got)
+	}
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.PinnedPages()
+	if len(got) != 2 || got[0] != a.ID || got[1] != b.ID {
+		t.Fatalf("PinnedPages = %v, want [%d %d]", got, a.ID, b.ID)
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	if got := p.PinnedPages(); len(got) != 0 {
+		t.Fatalf("after unpin, PinnedPages = %v", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

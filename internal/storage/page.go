@@ -150,6 +150,9 @@ func pageInsert(d, rec []byte) (int, error) {
 	copy(d[pos:pos+len(rec)], rec)
 	setPageDataStart(d, pos)
 	setSlot(d, slot, pos, len(rec))
+	if invariantsEnabled {
+		mustValidPage(d, "insert")
+	}
 	return slot, nil
 }
 
@@ -173,6 +176,9 @@ func pageDelete(d []byte, slot int) error {
 		return fmt.Errorf("storage: slot %d out of range", slot)
 	}
 	setSlot(d, slot, 0, 0)
+	if invariantsEnabled {
+		mustValidPage(d, "delete")
+	}
 	return nil
 }
 
@@ -191,6 +197,9 @@ func pageReplace(d []byte, slot int, rec []byte) (bool, error) {
 		pos := off + l - len(rec)
 		copy(d[pos:pos+len(rec)], rec)
 		setSlot(d, slot, pos, len(rec))
+		if invariantsEnabled {
+			mustValidPage(d, "replace")
+		}
 		return true, nil
 	}
 	// Growing: delete then insert within the same page if possible.
@@ -202,9 +211,15 @@ func pageReplace(d []byte, slot int, rec []byte) (bool, error) {
 		copy(d[pos:pos+len(rec)], rec)
 		setPageDataStart(d, pos)
 		setSlot(d, slot, pos, len(rec))
+		if invariantsEnabled {
+			mustValidPage(d, "replace-grow")
+		}
 		return true, nil
 	}
 	// Restore the old record so the caller can forward it elsewhere.
 	setSlot(d, slot, off, l)
+	if invariantsEnabled {
+		mustValidPage(d, "replace-restore")
+	}
 	return false, nil
 }

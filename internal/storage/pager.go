@@ -11,8 +11,10 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -114,12 +116,12 @@ func OpenFileBackend(path string) (*FileBackend, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, st.Size())
+		return nil, errors.Join(
+			fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, st.Size()),
+			f.Close())
 	}
 	return &FileBackend{f: f, n: PageID(st.Size() / PageSize)}, nil
 }
@@ -336,10 +338,32 @@ func (p *Pager) FlushAll() error {
 
 // Close flushes and closes the underlying backend.
 func (p *Pager) Close() error {
+	if invariantsEnabled {
+		if leaked := p.PinnedPages(); len(leaked) > 0 {
+			panic(fmt.Sprintf("storage: pager closed with %d pinned page(s) %v: pin leak", len(leaked), leaked))
+		}
+	}
 	if err := p.FlushAll(); err != nil {
 		return err
 	}
 	return p.backend.Close()
+}
+
+// PinnedPages returns the ids of frames whose pin count is non-zero,
+// sorted. A non-empty result at quiesce points (statement boundaries,
+// Close) means some code path leaked a pin; the invariants build panics
+// on it at Close.
+func (p *Pager) PinnedPages() []PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []PageID
+	for id, pg := range p.frames {
+		if pg.pins > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (p *Pager) pinLocked(pg *Page) {

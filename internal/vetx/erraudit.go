@@ -1,0 +1,209 @@
+package vetx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrAudit returns the erraudit analyzer: in non-test code under
+// internal/, an error result must not be discarded — neither assigned to
+// the blank identifier nor dropped by calling an error-returning function
+// as a bare statement. The engine substrate surfaces corruption and
+// callback failures exclusively through error returns (the ODCIIndex
+// contract forbids panics), so a swallowed error is a swallowed corruption
+// report.
+//
+// Deferred and `go` calls are exempt (the value is unobtainable there
+// without a wrapper, and `defer f.Close()` style cleanup is accepted
+// idiom). Print-family calls whose error is universally ignored
+// (fmt.Print*/Fprint* and (*strings.Builder)/(*bytes.Buffer) writes,
+// which are documented never to fail) are also exempt.
+func ErrAudit() *Analyzer {
+	return &Analyzer{
+		Name:      "erraudit",
+		Doc:       "error results in non-test internal code must be handled, not discarded",
+		NeedTypes: true,
+		Run:       runErrAudit,
+	}
+}
+
+func runErrAudit(pkg *Package) []Finding {
+	if !strings.Contains(pkg.ImportPath+"/", "/internal/") {
+		return nil
+	}
+	var out []Finding
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || erraiAllowedCall(pkg, call) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call]
+				if !ok {
+					return true
+				}
+				if errPositions(tv.Type, isErr) > 0 {
+					out = append(out, Finding{
+						Analyzer: "erraudit",
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Message:  fmt.Sprintf("error result of %s is discarded by calling it as a statement", calleeName(call)),
+					})
+				}
+			case *ast.AssignStmt:
+				out = append(out, blankErrAssigns(pkg, s, isErr)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// errPositions counts error components in a result type (a bare error or a
+// tuple containing errors).
+func errPositions(t types.Type, isErr func(types.Type) bool) int {
+	if isErr(t) {
+		return 1
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := 0; i < tup.Len(); i++ {
+		if isErr(tup.At(i).Type()) {
+			n++
+		}
+	}
+	return n
+}
+
+// blankErrAssigns flags `_` targets whose corresponding value is an error.
+func blankErrAssigns(pkg *Package, s *ast.AssignStmt, isErr func(types.Type) bool) []Finding {
+	var out []Finding
+	report := func(e ast.Expr) {
+		out = append(out, Finding{
+			Analyzer: "erraudit",
+			Pos:      pkg.Fset.Position(e.Pos()),
+			Message:  "error result assigned to _ (handle it or justify the discard)",
+		})
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value form: a, _ := f().
+		tv, ok := pkg.Info.Types[s.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		tup, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		if call, isCall := s.Rhs[0].(*ast.CallExpr); isCall && erraiAllowedCall(pkg, call) {
+			return nil
+		}
+		for i, lh := range s.Lhs {
+			if id, isID := lh.(*ast.Ident); isID && id.Name == "_" && i < tup.Len() && isErr(tup.At(i).Type()) {
+				report(lh)
+			}
+		}
+		return out
+	}
+	for i, lh := range s.Lhs {
+		id, isID := lh.(*ast.Ident)
+		if !isID || id.Name != "_" || i >= len(s.Rhs) {
+			continue
+		}
+		if call, isCall := s.Rhs[i].(*ast.CallExpr); isCall && erraiAllowedCall(pkg, call) {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[s.Rhs[i]]; ok && isErr(tv.Type) {
+			report(lh)
+		}
+	}
+	return out
+}
+
+// erraiAllowedCall exempts the print/builder family whose errors are
+// ignored by universal Go convention (and, for Builder/Buffer/hash,
+// documented to be impossible).
+func erraiAllowedCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// fmt.Print / Printf / Println, and Fprint* to sinks that cannot fail:
+	// os.Stdout/os.Stderr by convention, strings.Builder/bytes.Buffer by
+	// documented guarantee.
+	if pkgID, isID := sel.X.(*ast.Ident); isID {
+		if obj, found := pkg.Info.Uses[pkgID]; found {
+			if pn, isPkg := obj.(*types.PkgName); isPkg && pn.Imported().Path() == "fmt" {
+				if strings.HasPrefix(name, "Print") {
+					return true
+				}
+				if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+					if exprString(call.Args[0]) == "os.Stdout" || exprString(call.Args[0]) == "os.Stderr" {
+						return true
+					}
+					if tv, ok := pkg.Info.Types[call.Args[0]]; ok && isInfallibleSink(tv.Type) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	if selInfo, found := pkg.Info.Selections[sel]; found && selInfo.Kind() == types.MethodVal {
+		// Methods on *strings.Builder / *bytes.Buffer never return a
+		// non-nil error (package docs guarantee it).
+		if named := namedRecv(selInfo.Recv()); named != nil {
+			if p := named.Obj().Pkg(); p != nil {
+				full := p.Path() + "." + named.Obj().Name()
+				if full == "strings.Builder" || full == "bytes.Buffer" {
+					return true
+				}
+				// hash.Hash documents that Write never returns an error;
+				// this covers the concrete digest types (hash/fnv,
+				// crypto/sha256, ...) called through their package path.
+				if name == "Write" && (p.Path() == "hash" || strings.HasPrefix(p.Path(), "hash/") || strings.HasPrefix(p.Path(), "crypto/")) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isInfallibleSink reports whether the type is (a pointer to)
+// strings.Builder or bytes.Buffer.
+func isInfallibleSink(t types.Type) bool {
+	named := namedRecv(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// calleeName renders the called function for messages.
+func calleeName(call *ast.CallExpr) string {
+	return exprString(call.Fun)
+}
+
+// namedRecv strips pointers from a receiver type down to its named type.
+func namedRecv(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package vetx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis. Test files (_test.go) are excluded: the contracts vetx
+// enforces are production-code contracts, and test helpers intentionally
+// discard errors.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Types and Info are nil when type checking failed (Load reports the
+	// failure as an error); syntactic analyzers still run.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load discovers, parses, and type-checks the packages matched by the
+// patterns (Go-style: a directory, or dir/... for a recursive match)
+// relative to the module root. It is intentionally stdlib-only: imports
+// are resolved with the source importer, so no pre-built export data or
+// external tooling is required.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("vetx: %s: %w", dir, err)
+		}
+		var files []*ast.File
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("vetx: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg := &Package{ImportPath: ipath, Dir: dir, Fset: fset, Files: files}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ipath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("vetx: typecheck %s: %w", ipath, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// modulePath reads the module path from go.mod at root.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("vetx: %w (run from a module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vetx: no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("vetx: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves ./... style patterns into package directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		base := p
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			add(filepath.Clean(base))
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(filepath.Clean(path))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

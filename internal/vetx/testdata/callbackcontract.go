@@ -1,0 +1,40 @@
+// Fixture for the callbackcontract analyzer. The test registers it under
+// an import path containing /cartridge/ (the analyzer only fires there).
+// Parse-only: the extidx qualifier below is never resolved. Flagged lines
+// carry a "// want:<analyzer>" marker.
+package cartfix
+
+// Server stands in for extidx.Server.
+type Server interface {
+	Anything()
+}
+
+type Methods struct{}
+
+// GoodCreate is a well-formed callback: Server first, error last.
+func (m *Methods) GoodCreate(srv Server, name string) error { return nil }
+
+// BadNoError is a callback entry point without an error result: the
+// engine would have no channel to turn its failure into a rollback.
+func (m *Methods) BadNoError(srv Server, name string) { // want:callbackcontract
+}
+
+// BadSelector uses the qualified Server form and still lacks the error.
+func (m *Methods) BadSelector(srv extidx.Server) { // want:callbackcontract
+}
+
+// BadPanic propagates failure the forbidden way.
+func (m *Methods) BadPanic(srv Server) error {
+	panic("boom") // want:callbackcontract
+}
+
+// NotCallback takes no Server, so no signature requirement applies.
+func (m *Methods) NotCallback(name string) {}
+
+func helperOK(n int) int { return n + 1 }
+
+// SuppressedPanic shows the escape hatch for a provably unreachable panic.
+func (m *Methods) SuppressedPanic(srv Server) error {
+	//vetx:ignore callbackcontract -- fixture: unreachable by construction
+	panic("unreachable")
+}

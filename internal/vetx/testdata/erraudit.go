@@ -1,0 +1,73 @@
+// Fixture for the erraudit analyzer. The test typechecks this file (it
+// needs type info to see which results are errors) under an import path
+// containing /internal/. Flagged lines carry a "// want:<analyzer>"
+// marker.
+package errfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error        { return nil }
+func twoVals() (int, error) { return 0, nil }
+func answer() int           { return 42 }
+
+// BareCallBad drops the error by calling mayFail as a statement.
+func BareCallBad() {
+	mayFail() // want:erraudit
+}
+
+// BlankAssignBad discards the error into the blank identifier.
+func BlankAssignBad() {
+	_ = mayFail() // want:erraudit
+}
+
+// MultiBlankBad keeps the value but blanks the error.
+func MultiBlankBad() int {
+	n, _ := twoVals() // want:erraudit
+	return n
+}
+
+// HandledOK checks every error.
+func HandledOK() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := twoVals()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// PrintFamilyOK: fmt print calls and Builder writes are conventionally
+// unchecked and documented never to fail.
+func PrintFamilyOK() string {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "x %d\n", 1)
+	var b strings.Builder
+	b.WriteString("ok")
+	return b.String()
+}
+
+// DeferGoOK: deferred and go'd calls cannot observe the error without a
+// wrapper; they are accepted idiom.
+func DeferGoOK() {
+	defer mayFail()
+	go mayFail()
+}
+
+// NonErrorOK: discarding non-error values is not erraudit's business.
+func NonErrorOK() {
+	_ = answer()
+	answer()
+}
+
+// SuppressedOK shows the sanctioned discard with a justification.
+func SuppressedOK() {
+	//vetx:ignore erraudit -- fixture: best-effort cleanup, failure is benign
+	mayFail()
+}

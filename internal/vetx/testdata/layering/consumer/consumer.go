@@ -1,0 +1,38 @@
+// Fixture consumer package for the layering analyzer test: it sits
+// outside the allowed layer and calls the restricted pager/heap protocol
+// directly. Flagged lines carry a "// want:<analyzer>" marker.
+package consumer
+
+import "fixture/storage"
+
+// Bad drives the pin protocol and mutates the heap from outside the
+// storage/engine layer.
+func Bad(p *storage.Pager, h *storage.Heap) error {
+	pg, err := p.Fetch(1) // want:layering
+	if err != nil {
+		return err
+	}
+	p.Unpin(pg, false)                       // want:layering
+	if _, err := h.Insert(nil); err != nil { // want:layering
+		return err
+	}
+	return nil
+}
+
+// ReadOK only uses unrestricted read accessors.
+func ReadOK(p *storage.Pager, h *storage.Heap) error {
+	_ = p.Stats()
+	_, err := h.Get(0)
+	return err
+}
+
+// SuppressedOK shows a justified exception.
+func SuppressedOK(p *storage.Pager) {
+	//vetx:ignore layering -- fixture: dump tool needs raw page access
+	pg, err := p.Fetch(2)
+	if err != nil {
+		return
+	}
+	//vetx:ignore layering -- fixture: dump tool needs raw page access
+	p.Unpin(pg, false)
+}

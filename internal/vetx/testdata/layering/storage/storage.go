@@ -1,0 +1,21 @@
+// Fixture storage package for the layering analyzer test: a miniature of
+// internal/storage's restricted surface. The test typechecks it under the
+// import path "fixture/storage".
+package storage
+
+type PageID uint32
+
+type Page struct {
+	Data []byte
+}
+
+type Pager struct{}
+
+func (p *Pager) Fetch(id PageID) (*Page, error) { return nil, nil }
+func (p *Pager) Unpin(pg *Page, dirty bool)     {}
+func (p *Pager) Stats() int                     { return 0 }
+
+type Heap struct{}
+
+func (h *Heap) Insert(rec []byte) (int, error) { return 0, nil }
+func (h *Heap) Get(rid int) ([]byte, error)    { return nil, nil }

@@ -1,0 +1,117 @@
+// Fixture for the lockbalance analyzer. Lines expected to be flagged
+// carry a "// want:<analyzer>" marker; the test compares marker lines
+// against finding lines.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// DeferOK: the canonical pattern.
+func (g *guarded) DeferOK() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// LinearOK: explicit unlock before fall-through.
+func (g *guarded) LinearOK() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// EarlyReturnBad leaks the lock on the early return.
+func (g *guarded) EarlyReturnBad(c bool) int {
+	g.mu.Lock()
+	if c {
+		return g.n // want:lockbalance
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// BranchesOK releases on every path.
+func (g *guarded) BranchesOK(c bool) int {
+	g.mu.Lock()
+	if c {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// MismatchBad pairs RLock with Unlock, so the read lock is never
+// released (and the write side is spuriously unlocked).
+func (g *guarded) MismatchBad() {
+	g.rw.RLock()
+	g.rw.Unlock()
+} // want:lockbalance
+
+// RWOk pairs reader and writer correctly.
+func (g *guarded) RWOk() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// LoopBad acquires inside a loop and returns without releasing.
+func (g *guarded) LoopBad(xs []int) int {
+	for range xs {
+		g.mu.Lock()
+	}
+	return g.n // want:lockbalance
+}
+
+// SwitchBad leaks on one case arm only.
+func (g *guarded) SwitchBad(k int) int {
+	g.mu.Lock()
+	switch k {
+	case 0:
+		g.mu.Unlock()
+		return 0
+	case 1:
+		return 1 // want:lockbalance
+	}
+	g.mu.Unlock()
+	return 2
+}
+
+// ClosureDeferOK releases through a deferred closure.
+func (g *guarded) ClosureDeferOK() int {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	return g.n
+}
+
+// ClosureEscapeNotCredited: an unlock inside a non-deferred closure does
+// not release the lock at the point of definition.
+func (g *guarded) ClosureEscapeNotCredited() func() {
+	g.mu.Lock()
+	release := func() { g.mu.Unlock() }
+	return release // want:lockbalance
+}
+
+// SuppressedOK shows the sanctioned escape hatch for intentional
+// lock-ownership transfer.
+func (g *guarded) SuppressedOK() func() {
+	g.mu.Lock()
+	//vetx:ignore lockbalance -- fixture: ownership transfers to the returned closure
+	return func() { g.mu.Unlock() }
+}
+
+// MalformedDirective: a suppression without justification is itself
+// reported (and does not suppress).
+func (g *guarded) MalformedDirective() func() {
+	g.mu.Lock()
+	//vetx:ignore lockbalance // want:vetx
+	return func() { g.mu.Unlock() } // want:lockbalance
+}

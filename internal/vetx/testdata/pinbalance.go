@@ -1,0 +1,142 @@
+// Fixture for the pinbalance analyzer: a miniature of the pager pin
+// protocol. Lines expected to be flagged carry a "// want:<analyzer>"
+// marker.
+package fixture
+
+type page struct {
+	ID   int
+	Data []byte
+}
+
+type pool struct{}
+
+func (p *pool) Fetch(id int) (*page, error) { return nil, nil }
+func (p *pool) NewPage() (*page, error)     { return nil, nil }
+func (p *pool) Unpin(pg *page, dirty bool)  {}
+func inspect(pg *page) error                { return nil }
+
+// LinearOK: fetch, use, unpin.
+func LinearOK(p *pool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	_ = pg.Data
+	p.Unpin(pg, false)
+	return nil
+}
+
+// DeferOK: deferred unpin covers every path.
+func DeferOK(p *pool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(pg, true)
+	return nil
+}
+
+// ClosureDeferOK: unpin inside a deferred closure.
+func ClosureDeferOK(p *pool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		p.Unpin(pg, true)
+	}()
+	return nil
+}
+
+// EarlyReturnBad leaks the pin on the early return.
+func EarlyReturnBad(p *pool, c bool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil // want:pinbalance
+	}
+	p.Unpin(pg, false)
+	return nil
+}
+
+// ReassignedErrBad: the err != nil guard below belongs to inspect, not to
+// Fetch — the pin exists and leaks on that return.
+func ReassignedErrBad(p *pool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	err = inspect(pg)
+	if err != nil {
+		return err // want:pinbalance
+	}
+	p.Unpin(pg, true)
+	return nil
+}
+
+// DiscardBad throws the pinned page away.
+func DiscardBad(p *pool) {
+	_, _ = p.Fetch(1) // want:pinbalance
+}
+
+// TransferOK returns the pinned page: ownership moves to the caller,
+// exactly like Pager.Fetch itself.
+func TransferOK(p *pool) (*page, error) {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// NewPageFallthroughBad allocates and never unpins.
+func NewPageFallthroughBad(p *pool) {
+	pg, err := p.NewPage()
+	if err != nil {
+		return
+	}
+	_ = pg
+} // want:pinbalance
+
+// LoopOK pins and unpins on each iteration.
+func LoopOK(p *pool, ids []int) error {
+	for _, id := range ids {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		p.Unpin(pg, false)
+	}
+	return nil
+}
+
+// BranchReleaseOK unpins on each terminating path.
+func BranchReleaseOK(p *pool, c bool) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	if c {
+		p.Unpin(pg, false)
+		return nil
+	}
+	if err := inspect(pg); err != nil {
+		p.Unpin(pg, false)
+		return err
+	}
+	p.Unpin(pg, true)
+	return nil
+}
+
+// SuppressedOK: sanctioned pin handoff with justification.
+func SuppressedOK(p *pool, sink func(*page)) error {
+	pg, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	sink(pg)
+	//vetx:ignore pinbalance -- fixture: sink takes over the pin
+	return nil
+}

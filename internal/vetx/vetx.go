@@ -1,0 +1,209 @@
+// Package vetx is the repo's codebase-specific static-analysis framework:
+// a stdlib-only (go/parser + go/ast + go/types) driver plus analyzers that
+// mechanically enforce the correctness protocols every cartridge depends
+// on — the lock discipline, the pager pin/unpin protocol, the ODCIIndex
+// callback error contract, and the storage layering rules. The same
+// contracts are checked dynamically by the `invariants` build tag (see
+// internal/storage and internal/btree); vetx is the static half.
+//
+// Run it as `go run ./cmd/vetx ./...`. A finding can be suppressed with an
+// inline directive on the offending line or the line above it:
+//
+//	//vetx:ignore <analyzer>[,<analyzer>...] -- <justification>
+//
+// The justification is mandatory; a directive without one is itself
+// reported. See DESIGN.md "Static analysis & invariants" for the
+// contracts each analyzer enforces.
+package vetx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional path:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// NeedTypes marks analyzers that require type information; the driver
+	// skips them (with an error finding) when type checking failed.
+	NeedTypes bool
+	Run       func(pkg *Package) []Finding
+}
+
+// DefaultAnalyzers returns the full analyzer suite with the repo's
+// production configuration.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		LockBalance(),
+		PinBalance(),
+		ErrAudit(),
+		CallbackContract(),
+		Layering(DefaultLayeringConfig()),
+	}
+}
+
+// Run applies the analyzers to every package, filters suppressed findings,
+// and returns the survivors sorted by position. Malformed suppression
+// directives are reported as findings of the pseudo-analyzer "vetx".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, supFindings := collectSuppressions(pkg)
+		out = append(out, supFindings...)
+		for _, an := range analyzers {
+			if an.NeedTypes && pkg.Info == nil {
+				continue
+			}
+			for _, f := range an.Run(pkg) {
+				if !sup.suppressed(an.Name, f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+
+const ignoreDirective = "//vetx:ignore"
+
+type suppressions struct {
+	// byLine maps file:line to the set of suppressed analyzer names
+	// ("all" suppresses every analyzer).
+	byLine map[string]map[string]bool
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	set := s.byLine[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return set != nil && (set[analyzer] || set["all"])
+}
+
+// collectSuppressions scans file comments for //vetx:ignore directives. A
+// directive suppresses findings on its own line (trailing comment) and on
+// the following line (standalone comment above the code).
+func collectSuppressions(pkg *Package) (*suppressions, []Finding) {
+	sup := &suppressions{byLine: map[string]map[string]bool{}}
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				names, reason, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Finding{
+						Analyzer: "vetx",
+						Pos:      pos,
+						Message:  "vetx:ignore directive without a justification (use //vetx:ignore <analyzer> -- <reason>)",
+					})
+					continue
+				}
+				set := map[string]bool{}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+				if len(set) == 0 {
+					malformed = append(malformed, Finding{
+						Analyzer: "vetx",
+						Pos:      pos,
+						Message:  "vetx:ignore directive names no analyzer",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if sup.byLine[key] == nil {
+						sup.byLine[key] = map[string]bool{}
+					}
+					for n := range set {
+						sup.byLine[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// ---------------------------------------------------------------------------
+// Small AST helpers shared by analyzers
+
+// exprString renders simple receiver expressions (identifiers and selector
+// chains) to a stable key; anything more exotic renders positionally.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.BasicLit:
+		return x.Value
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}
+
+// isPanicCall reports whether the call is the builtin panic.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — exactly once each. Analyzers that do per-function flow
+// analysis iterate these and must not descend into nested literals
+// themselves.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
