@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx
 
-.PHONY: build vet lint test race check bench
+.PHONY: build vet lint test race crash fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,16 @@ test:
 race:
 	$(GO) test -race -tags invariants $(RACE_PKGS)
 
+## crash: fault-injection crash-recovery matrix (every crash point, torn writes)
+crash:
+	$(GO) test -run Crash -tags invariants -v .
+
+## fuzz: parser round-trip fuzz smoke (parse -> print -> parse identity)
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 20s ./internal/sql
+
 ## check: everything CI runs
-check: build vet lint test race
+check: build vet lint test race crash
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,11 +1,63 @@
 package extdb
 
 import (
+	"fmt"
+
 	"repro/internal/cartridge/chem"
+	"repro/internal/cartridge/colls"
 	"repro/internal/cartridge/spatial"
 	"repro/internal/cartridge/text"
 	"repro/internal/cartridge/vir"
 )
+
+// cartridgeObjects names the schema objects a cartridge's Setup creates.
+// Install helpers use it to stay idempotent: a database reopened from
+// durable media recovers its dictionary — cartridge DDL included — so
+// re-running Setup would collide with the recovered objects. Register
+// always runs (the Go-side method/function registry is per-process,
+// like reloading cartridge libraries at instance startup); Setup runs
+// only when the dictionary has none of the objects yet.
+type cartridgeObjects struct {
+	types      []string
+	operators  []string
+	indexTypes []string
+}
+
+// setupNeeded reports whether a cartridge's Setup DDL should run.
+// All objects present means the dictionary already carries the schema
+// (skip); none present means a fresh database (run). A partial install
+// — possible only if the original Setup was interrupted between its
+// DDL statements — is surfaced as an error rather than guessed at.
+func setupNeeded(db *DB, want cartridgeObjects) (bool, error) {
+	cat := db.Catalog()
+	have, total := 0, 0
+	for _, n := range want.types {
+		total++
+		if _, ok := cat.TypeDesc(n); ok {
+			have++
+		}
+	}
+	for _, n := range want.operators {
+		total++
+		if _, ok := cat.Operator(n); ok {
+			have++
+		}
+	}
+	for _, n := range want.indexTypes {
+		total++
+		if _, ok := cat.IndexType(n); ok {
+			have++
+		}
+	}
+	switch have {
+	case 0:
+		return true, nil
+	case total:
+		return false, nil
+	default:
+		return false, fmt.Errorf("cartridge schema partially installed (%d of %d objects present); drop the remnants before reinstalling", have, total)
+	}
+}
 
 // InstallTextCartridge registers the interMedia-style full-text cartridge
 // and creates its schema objects: the Contains operator, its Score
@@ -14,6 +66,13 @@ import (
 // precompute|lazy, and :Memory value|handle.
 func InstallTextCartridge(db *DB, s *Session) error {
 	if err := text.Register(db); err != nil {
+		return err
+	}
+	need, err := setupNeeded(db, cartridgeObjects{
+		operators:  []string{text.OpContains, text.OpScore},
+		indexTypes: []string{text.IndexTypeName},
+	})
+	if err != nil || !need {
 		return err
 	}
 	return text.Setup(s)
@@ -33,6 +92,14 @@ func InstallSpatialCartridge(db *DB, s *Session) error {
 	if err := spatial.Register(db); err != nil {
 		return err
 	}
+	need, err := setupNeeded(db, cartridgeObjects{
+		types:      []string{spatial.TypeName},
+		operators:  []string{spatial.OpRelate, spatial.OpFilter},
+		indexTypes: []string{spatial.IndexTypeName, spatial.RTreeTypeName},
+	})
+	if err != nil || !need {
+		return err
+	}
 	return spatial.Setup(s)
 }
 
@@ -42,6 +109,14 @@ func InstallSpatialCartridge(db *DB, s *Session) error {
 // evaluation).
 func InstallVIRCartridge(db *DB, s *Session) error {
 	if _, err := vir.Register(db); err != nil {
+		return err
+	}
+	need, err := setupNeeded(db, cartridgeObjects{
+		types:      []string{vir.TypeName},
+		operators:  []string{vir.OpSimilar, vir.OpVIRScore},
+		indexTypes: []string{vir.IndexTypeName},
+	})
+	if err != nil || !need {
 		return err
 	}
 	return vir.Setup(s)
@@ -56,7 +131,32 @@ func InstallChemCartridge(db *DB, s *Session) error {
 	if _, err := chem.Register(db); err != nil {
 		return err
 	}
+	need, err := setupNeeded(db, cartridgeObjects{
+		operators:  []string{chem.OpExact, chem.OpContains, chem.OpSimilar, chem.OpTautomer, chem.OpChemScore},
+		indexTypes: []string{chem.IndexTypeName},
+	})
+	if err != nil || !need {
+		return err
+	}
 	return chem.Setup(s)
+}
+
+// InstallCollsCartridge registers the collection-membership cartridge
+// (§3.1 of the paper) and creates its schema objects: the CollContains
+// operator over VARRAY columns and CollIndexType, whose index data is an
+// in-database element table with a B-tree on it.
+func InstallCollsCartridge(db *DB, s *Session) error {
+	if err := colls.Register(db); err != nil {
+		return err
+	}
+	need, err := setupNeeded(db, cartridgeObjects{
+		operators:  []string{colls.OpContains},
+		indexTypes: []string{colls.IndexTypeName},
+	})
+	if err != nil || !need {
+		return err
+	}
+	return colls.Setup(s)
 }
 
 // Geometry is a 2-D spatial geometry (point, rectangle or polygon) for

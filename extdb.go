@@ -63,6 +63,11 @@ type Value = types.Value
 // Open creates or opens a database. An empty Path means in-memory.
 func Open(opts Options) (*DB, error) { return engine.Open(opts) }
 
+// ErrWALBroken is returned by commits after a write-ahead-log write has
+// failed; the database refuses further commits (the log tail is suspect)
+// until it is reopened, which recovers from the durable log prefix.
+var ErrWALBroken = engine.ErrWALBroken
+
 // Forced access paths for Session.SetForcedPath (optimizer hints).
 const (
 	ForceAuto       = engine.ForceAuto

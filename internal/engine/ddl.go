@@ -19,12 +19,37 @@ import (
 // commit), except on callback sessions, which execute structural changes
 // inside the invoking statement (index definition routines have no
 // restrictions, §2.5).
+// execDDL executes one DDL statement. A top-level DDL runs in its own
+// transaction so everything a domain-index definition routine does
+// through callback sessions (which share the invoking transaction)
+// commits or rolls back with the statement; the commit is forced
+// durable, since pure-dictionary DDL dirties no pages yet must survive a
+// crash via the commit record's snapshot. Callback-session DDL joins the
+// invoking statement's transaction instead.
 func (s *Session) execDDL(st sql.Statement) error {
 	if s.explicit && !s.isCallback {
 		if err := s.Commit(); err != nil {
 			return fmt.Errorf("engine: implicit commit before DDL: %w", err)
 		}
 	}
+	if s.isCallback {
+		return s.dispatchDDL(st)
+	}
+	t := s.db.txns.Begin()
+	s.tx, s.explicit = t, true
+	err := s.dispatchDDL(st)
+	s.tx, s.explicit = nil, false
+	if err != nil {
+		if rbErr := t.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (DDL rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	t.ForceDurable()
+	return t.Commit()
+}
+
+func (s *Session) dispatchDDL(st sql.Statement) error {
 	switch x := st.(type) {
 	case *sql.CreateTable:
 		return s.createTable(x)

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,18 @@ type Options struct {
 	// CacheSizePages is the buffer-pool capacity (default 4096 pages,
 	// i.e. 32 MiB).
 	CacheSizePages int
+	// Backend, when non-nil, overrides the page store (fault-injection
+	// harnesses wrap a backend and pass it here; Path is then ignored for
+	// the page space).
+	Backend storage.Backend
+	// WALSink, when non-nil, overrides the redo-log store. When nil, a
+	// file database logs to Path+".wal" and an in-memory database runs
+	// without a WAL (there is no durable medium to recover from) unless a
+	// sink is injected.
+	WALSink storage.WALSink
+	// DisableWAL turns write-ahead logging off entirely, restoring the
+	// pre-WAL behaviour (durability only at Checkpoint/Close).
+	DisableWAL bool
 }
 
 // DB is one database instance.
@@ -51,7 +64,29 @@ type DB struct {
 	// fetchCalls counts ODCIIndexFetch interface crossings across all
 	// domain scans (batching instrumentation).
 	fetchCalls int64
+
+	// wal is the redo log, nil when logging is disabled. walMu serializes
+	// commit-record appends and checkpoint truncation against each other.
+	// walBroken is set after any failed log write: the log tail is then
+	// suspect (a commit record for a rolled-back transaction may be
+	// sitting in an unsynced buffer), so further commits are refused until
+	// the database is reopened and recovers from the durable prefix.
+	wal       *storage.WAL
+	walMu     sync.Mutex
+	walBroken bool
+	recovery  storage.RecoveryInfo
 }
+
+// ErrWALBroken is returned by commits after a write-ahead-log write has
+// failed; reopen the database to recover.
+var ErrWALBroken = errors.New("engine: write-ahead log failed; reopen to recover")
+
+// RecoveryInfo reports what WAL replay did during Open (zero value when
+// no WAL is configured or the log was empty).
+func (db *DB) RecoveryInfo() storage.RecoveryInfo { return db.recovery }
+
+// WALEnabled reports whether a write-ahead log governs this database.
+func (db *DB) WALEnabled() bool { return db.wal != nil }
 
 // FetchCalls reports the cumulative number of ODCIIndexFetch invocations.
 func (db *DB) FetchCalls() int64 { return atomic.LoadInt64(&db.fetchCalls) }
@@ -59,17 +94,42 @@ func (db *DB) FetchCalls() int64 { return atomic.LoadInt64(&db.fetchCalls) }
 // ResetFetchCalls zeroes the ODCIIndexFetch counter.
 func (db *DB) ResetFetchCalls() { atomic.StoreInt64(&db.fetchCalls, 0) }
 
-// Open creates or opens a database.
+// Open creates or opens a database. When a WAL governs the page space
+// (file databases by default, or any injected WALSink), Open first
+// replays the log — applying every committed transaction's page images
+// to the backend and discarding uncommitted ones — then checkpoints and
+// truncates the log, so a crash during recovery simply replays again.
 func Open(opts Options) (*DB, error) {
-	var backend storage.Backend
-	if opts.Path == "" {
-		backend = storage.NewMemBackend()
-	} else {
-		fb, err := storage.OpenFileBackend(opts.Path)
+	backend := opts.Backend
+	if backend == nil {
+		if opts.Path == "" {
+			backend = storage.NewMemBackend()
+		} else {
+			fb, err := storage.OpenFileBackend(opts.Path)
+			if err != nil {
+				return nil, err
+			}
+			backend = fb
+		}
+	}
+	sink := opts.WALSink
+	if sink == nil && !opts.DisableWAL && opts.Path != "" && opts.Backend == nil {
+		fs, err := storage.OpenFileWALSink(opts.Path + ".wal")
 		if err != nil {
 			return nil, err
 		}
-		backend = fb
+		sink = fs
+	}
+	if opts.DisableWAL {
+		sink = nil
+	}
+	var recovery storage.RecoveryInfo
+	if sink != nil {
+		info, err := storage.ReplayWAL(backend, sink)
+		if err != nil {
+			return nil, fmt.Errorf("engine: wal recovery: %w", err)
+		}
+		recovery = info
 	}
 	cache := opts.CacheSizePages
 	if cache <= 0 {
@@ -86,23 +146,86 @@ func Open(opts Options) (*DB, error) {
 		ws:                extidx.NewWorkspace(),
 		parseCache:        make(map[string]sql.Statement),
 		DefaultFetchBatch: 64,
+		recovery:          recovery,
+	}
+	if sink != nil {
+		db.wal = storage.NewWAL(sink, recovery.LastSeq)
+		// Redo-only logging is correct only if uncommitted changes never
+		// reach the page file: no-steal buffer pool.
+		pager.SetNoSteal(true)
 	}
 	if backend.NumPages() == 0 {
 		if err := db.initSuperblock(); err != nil {
 			return nil, err
 		}
+	} else if recovery.Snapshot != nil {
+		// The newest committed dictionary snapshot rides in the WAL commit
+		// record and supersedes the (possibly stale) page-0 snapshot chain.
+		if err := db.applySnapshotBytes(recovery.Snapshot); err != nil {
+			return nil, err
+		}
 	} else if err := db.loadSnapshot(); err != nil {
 		return nil, err
+	}
+	if db.wal != nil {
+		db.txns.SetCommitSink(db.logCommit)
+		if recovery.Records > 0 || recovery.TornTail {
+			// Fold the replayed state into the page file and truncate the
+			// log so it does not grow across restarts.
+			if err := db.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("engine: post-recovery checkpoint: %w", err)
+			}
+		}
 	}
 	return db, nil
 }
 
-// Close snapshots the dictionary, flushes, and closes the database.
+// Close checkpoints (snapshot + flush + WAL truncation) and closes the
+// database. Close attempts every cleanup step even when an earlier one
+// fails, folding the errors together.
 func (db *DB) Close() error {
-	if err := db.SaveSnapshot(); err != nil {
+	err := db.Checkpoint()
+	err = errors.Join(err, db.pager.Close())
+	if db.wal != nil {
+		err = errors.Join(err, db.wal.Close())
+	}
+	return err
+}
+
+// logCommit is the transaction manager's commit sink: it appends the
+// image of every page dirtied since it was last logged, then a commit
+// record carrying the dictionary snapshot, and fsyncs the log. Only
+// after it returns nil is the commit acknowledged. A transaction that
+// dirtied no pages skips the log entirely — unless it is forceDurable
+// (DDL changes only the dictionary, which rides in the commit record).
+func (db *DB) logCommit(txID int64, forceDurable bool) error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.walBroken {
+		return ErrWALBroken
+	}
+	n, err := db.pager.AppendUnlogged(db.wal)
+	if err != nil {
+		db.walBroken = true
 		return err
 	}
-	return db.pager.Close()
+	if n == 0 && !forceDurable {
+		return nil
+	}
+	snap, err := db.snapshotBytes()
+	if err != nil {
+		db.walBroken = true
+		return err
+	}
+	if err := db.wal.AppendCommit(txID, snap); err != nil {
+		db.walBroken = true
+		return err
+	}
+	if err := db.wal.Sync(); err != nil {
+		db.walBroken = true
+		return err
+	}
+	return nil
 }
 
 // Registry exposes the extensible-indexing registry so cartridges can
@@ -130,9 +253,35 @@ func (db *DB) TxnEvents() *txn.Manager { return db.txns }
 // Workspace exposes the scan-context workspace (tests check for leaks).
 func (db *DB) Workspace() *extidx.Workspace { return db.ws }
 
-// Checkpoint snapshots the dictionary and flushes all dirty pages to the
-// backend, making the on-disk image reopenable.
-func (db *DB) Checkpoint() error { return db.SaveSnapshot() }
+// Checkpoint snapshots the dictionary, flushes all dirty pages to the
+// backend (making the on-disk image reopenable), and — once the page
+// file is durably in sync — truncates the WAL, which the flush just made
+// redundant. Checkpoint must not run while a transaction is open: the
+// flush writes every dirty page, and under redo-only logging an
+// uncommitted page on disk would have no undo to remove it.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return db.SaveSnapshot()
+	}
+	if err := db.writeSnapshotChain(); err != nil {
+		return err
+	}
+	// Log the chain pages (and everything else still unlogged) with a
+	// commit record before the flush: a crash that tears the page file
+	// mid-flush is then repaired by replay, chain included.
+	if err := db.logCommit(0, true); err != nil {
+		return err
+	}
+	if err := db.pager.FlushAll(); err != nil {
+		return err
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.walBroken {
+		return ErrWALBroken // never truncate a log we could not write
+	}
+	return db.wal.Reset()
+}
 
 func (db *DB) parse(text string) (sql.Statement, error) {
 	db.parseMu.Lock()

@@ -125,15 +125,46 @@ func (db *DB) initSuperblock() error {
 	return nil
 }
 
+// snapshotBytes gob-encodes the current dictionary snapshot. The WAL
+// commit protocol embeds it in every commit record so recovery restores
+// volatile dictionary state (row counts, bitmap indexes, the LOB
+// directory, committed DDL) without needing a checkpoint.
+func (db *DB) snapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db.buildSnapshot()); err != nil {
+		return nil, fmt.Errorf("engine: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// applySnapshotBytes decodes and applies a gob snapshot (the WAL
+// recovery path; the page-0 chain path is loadSnapshot).
+func (db *DB) applySnapshotBytes(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: decode snapshot: %w", err)
+	}
+	return db.applySnapshot(snap)
+}
+
 // SaveSnapshot serializes the dictionary into the snapshot chain and
 // flushes all dirty pages.
 func (db *DB) SaveSnapshot() error {
-	snap := db.buildSnapshot()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return fmt.Errorf("engine: encode snapshot: %w", err)
+	if err := db.writeSnapshotChain(); err != nil {
+		return err
 	}
-	data := buf.Bytes()
+	return db.pager.FlushAll()
+}
+
+// writeSnapshotChain serializes the dictionary into the page-0 snapshot
+// chain, leaving the chain pages dirty in the buffer pool (the caller
+// decides when they hit the backend: directly via FlushAll, or logged
+// first by the WAL checkpoint protocol).
+func (db *DB) writeSnapshotChain() error {
+	data, err := db.snapshotBytes()
+	if err != nil {
+		return err
+	}
 
 	// Free the previous chain.
 	pg, err := db.pager.Fetch(0)
@@ -194,7 +225,7 @@ func (db *DB) SaveSnapshot() error {
 	}
 	binary.BigEndian.PutUint32(pg.Data[8:12], uint32(head))
 	db.pager.Unpin(pg, true)
-	return db.pager.FlushAll()
+	return nil
 }
 
 func (db *DB) buildSnapshot() snapshot {
@@ -290,11 +321,7 @@ func (db *DB) loadSnapshot() error {
 		db.pager.Unpin(cp, false)
 		id = next
 	}
-	var snap snapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-		return fmt.Errorf("engine: decode snapshot: %w", err)
-	}
-	return db.applySnapshot(snap)
+	return db.applySnapshotBytes(data)
 }
 
 func (db *DB) applySnapshot(snap snapshot) error {

@@ -1,0 +1,123 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parseSeeds is the fuzz seed corpus: every statement form the engine's
+// own test suite and the shipped cartridges issue, plus expression
+// variety (binds, quoted identifiers, exponents, operators at every
+// precedence level). TestPrintRoundTrip runs the same corpus in normal
+// test runs so the invariant does not depend on -fuzz being exercised.
+var parseSeeds = []string{
+	// DDL: tables and types.
+	`CREATE TABLE Employees(name VARCHAR2, id NUMBER, resume VARCHAR2)`,
+	`CREATE TABLE T(a NUMBER(10,2), b VARCHAR2(1024), c BOOLEAN)`,
+	`CREATE TYPE Point AS OBJECT (x NUMBER, y NUMBER)`,
+	`DROP TABLE Employees`,
+	`TRUNCATE TABLE Employees`,
+	`ANALYZE TABLE Employees`,
+	// DDL: built-in and domain indexes.
+	`CREATE INDEX EmpIdx ON Employees(id)`,
+	`CREATE UNIQUE INDEX EmpIdx ON Employees(id)`,
+	`CREATE BITMAP INDEX DeptIdx ON Employees(dept)`,
+	`CREATE HASH INDEX EmpHash ON Employees(id)`,
+	`CREATE INDEX ResumeTextIndex ON Employees(resume)
+	 INDEXTYPE IS TextIndexType PARAMETERS (':Language English :Ignore the a an')`,
+	`CREATE INDEX SpIdx ON Sites(loc) INDEXTYPE IS Ordsys.SpatialIndexType`,
+	`DROP INDEX ResumeTextIndex`,
+	`ALTER INDEX ResumeTextIndex REBUILD`,
+	`ALTER INDEX ResumeTextIndex PARAMETERS (':Ignore of')`,
+	// DDL: the paper's extensibility statements.
+	`CREATE OPERATOR Contains BINDING (VARCHAR2, VARCHAR2) RETURN NUMBER USING TextContainsFn`,
+	`CREATE OPERATOR Score BINDING (NUMBER) RETURN NUMBER USING TextScoreFn ANCILLARY TO Contains`,
+	`CREATE OPERATOR Eq BINDING (NUMBER, NUMBER) RETURN BOOLEAN USING EqN,
+	 BINDING (VARCHAR2, VARCHAR2) RETURN BOOLEAN USING EqS`,
+	`CREATE INDEXTYPE TextIndexType FOR Contains(VARCHAR2, VARCHAR2)
+	 USING TextIndexMethods WITH STATS TextStatsMethods`,
+	`CREATE INDEXTYPE XIT FOR Op1(NUMBER), Op2(VARCHAR2, NUMBER) USING M`,
+	`DROP OPERATOR Contains`,
+	`DROP INDEXTYPE TextIndexType`,
+	// DML.
+	`INSERT INTO Employees VALUES ('Joe', 100, 'Oracle and UNIX hacker')`,
+	`INSERT INTO Employees (name, id) VALUES ('Joe', 100), ('Ann', 101)`,
+	`INSERT INTO T VALUES (?, :name, NULL, TRUE, FALSE, 1.5e3, .25)`,
+	`UPDATE Employees SET resume = 'java guru', id = id + 1 WHERE name = 'Joe'`,
+	`UPDATE T SET a = ? WHERE b = :key`,
+	`DELETE FROM Employees WHERE id BETWEEN 100 AND 200`,
+	// Transactions and EXPLAIN.
+	`BEGIN`,
+	`COMMIT`,
+	`ROLLBACK`,
+	`EXPLAIN PLAN FOR SELECT name FROM Employees WHERE Contains(resume, 'UNIX') > 0`,
+	// Queries.
+	`SELECT * FROM Employees`,
+	`SELECT e.* FROM Employees e`,
+	`SELECT DISTINCT name, id * 2 AS double_id FROM Employees ORDER BY id DESC, name LIMIT 10`,
+	`SELECT name FROM Employees WHERE Contains(resume, 'Oracle AND UNIX') > 0`,
+	`SELECT name, Score(1) FROM Employees WHERE Contains(resume, 'Oracle', 1) > 0`,
+	`SELECT COUNT(*), dept FROM Employees GROUP BY dept HAVING COUNT(*) > 3`,
+	`SELECT SUM(sal), MIN(sal), MAX(sal), AVG(sal) FROM Emp`,
+	`SELECT a FROM t WHERE NOT (a = 1 OR b != 2) AND c <> 3`,
+	`SELECT a FROM t WHERE a LIKE 'x%' AND b NOT LIKE '_y'`,
+	`SELECT a FROM t WHERE a IN (1, 2, 3) OR b NOT IN ('x', 'y')`,
+	`SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL`,
+	`SELECT a FROM t WHERE a NOT BETWEEN -5 AND +5`,
+	`SELECT a || '-' || b, -a + b * c / d FROM t`,
+	`SELECT t1.a, t2.b FROM t1, t2 x WHERE t1.id = x.id`,
+	`SELECT "from", "select col" FROM "where" WHERE "from" = 1`,
+	`SELECT Ordsys.Contains(resume, 'x') FROM Hr.Employees`,
+	`SELECT a FROM t WHERE f() = g(1, 'two', :three)`,
+	`SELECT 1e10, 1.5E-3, 0.5, 42 FROM dual`,
+	`select name from employees where id = 7 -- trailing comment`,
+	`SELECT /* block comment */ a FROM t;`,
+}
+
+// FuzzParse holds the parser to three invariants on any input:
+//  1. Parse never panics (the fuzz runtime catches panics itself).
+//  2. Anything that parses can be printed and re-parsed (Print output is
+//     always valid SQL for valid ASTs).
+//  3. Re-parsing the printed form yields a deeply equal AST — printing
+//     loses nothing the engine can observe.
+func FuzzParse(f *testing.F) {
+	for _, seed := range parseSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return // invalid SQL is fine; only panics and round-trip losses are bugs
+		}
+		checkRoundTrip(t, input, st)
+	})
+}
+
+// TestPrintRoundTrip runs the round-trip invariant over the seed corpus
+// deterministically (plain `go test`, no -fuzz needed).
+func TestPrintRoundTrip(t *testing.T) {
+	for _, input := range parseSeeds {
+		st, err := Parse(input)
+		if err != nil {
+			t.Fatalf("seed does not parse: %v\n%s", err, input)
+		}
+		checkRoundTrip(t, input, st)
+	}
+}
+
+func checkRoundTrip(t *testing.T, input string, st Statement) {
+	t.Helper()
+	printed := Print(st)
+	st2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, input, printed)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("round-trip changed the AST\ninput:   %q\nprinted: %q\nbefore:  %#v\nafter:   %#v", input, printed, st, st2)
+	}
+	// The printer is a fixed point: printing the re-parsed AST must give
+	// the same text (canonical form is stable).
+	if again := Print(st2); again != printed {
+		t.Fatalf("print not canonical\nfirst:  %q\nsecond: %q", printed, again)
+	}
+}

@@ -32,8 +32,19 @@ type parser struct {
 	binds int
 }
 
-func (p *parser) cur() Token  { return p.toks[p.pos] }
-func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+// next consumes and returns the current token. The EOF sentinel is never
+// consumed: unterminated constructs (e.g. `VARCHAR2(` at end of input)
+// would otherwise walk the position past the token slice and panic on
+// the next peek.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) at(k TokKind, text string) bool {
 	t := p.cur()

@@ -1,0 +1,439 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Print renders a statement back to SQL text such that re-parsing the
+// output yields an AST deeply equal to the input. It is the inverse the
+// fuzzer holds the parser to (FuzzParse): parse → Print → parse must be
+// the identity on ASTs. The output is canonical, not source-preserving —
+// expressions come back fully parenthesized, `<>` as `!=`, keywords
+// uppercase, schema qualifiers (which the parser drops) omitted.
+func Print(st Statement) string {
+	var b strings.Builder
+	printStmt(&b, st)
+	return b.String()
+}
+
+// printIdent writes an identifier, quoting it whenever the bare spelling
+// would not re-lex to the identical TokIdent/soft-keyword token: empty
+// names, names with characters outside the identifier charset, and names
+// whose uppercase collides with a keyword. Quoted identifiers cannot
+// contain a double quote, but no parser-produced name can: the lexer
+// never includes '"' in any identifier token.
+func printIdent(b *strings.Builder, name string) {
+	if bareIdent(name) {
+		b.WriteString(name)
+		return
+	}
+	b.WriteByte('"')
+	b.WriteString(name)
+	b.WriteByte('"')
+}
+
+func bareIdent(name string) bool {
+	if name == "" || keywords[strings.ToUpper(name)] {
+		return false
+	}
+	// Iterate bytes, not runes: the lexer consumes identifiers one byte at
+	// a time, so a multi-byte letter only lexes bare if each of its bytes
+	// passes the identifier test individually.
+	for i := 0; i < len(name); i++ {
+		r := rune(name[i])
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func printString(b *strings.Builder, s string) {
+	b.WriteByte('\'')
+	b.WriteString(strings.ReplaceAll(s, "'", "''"))
+	b.WriteByte('\'')
+}
+
+func printLiteral(b *strings.Builder, v types.Value) {
+	switch v.Kind() {
+	case types.KindNull:
+		b.WriteString("NULL")
+	case types.KindBool:
+		if v.Truth() {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case types.KindNumber:
+		// Parsed numbers are unsigned finite floats; 'g' with -1 precision
+		// round-trips exactly through ParseFloat and stays inside the
+		// lexer's number grammar (digits, one dot, optional e±exponent).
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case types.KindString:
+		printString(b, v.Text())
+	default:
+		// Unreachable from Parse; keep the printer total.
+		printString(b, v.String())
+	}
+}
+
+// printExpr writes an expression. Composite nodes are parenthesized, so
+// operator precedence and associativity never change on re-parse; the
+// parser treats parentheses as pure grouping (no AST node), so the extra
+// parens are invisible to the round-trip.
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case Literal:
+		printLiteral(b, x.Value)
+	case ColumnRef:
+		if x.Table != "" {
+			printIdent(b, x.Table)
+			b.WriteByte('.')
+		}
+		printIdent(b, x.Name)
+	case Bind:
+		if x.Name == "" {
+			b.WriteByte('?')
+		} else {
+			b.WriteByte(':')
+			b.WriteString(x.Name)
+		}
+	case Call:
+		printIdent(b, x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteByte(')')
+	case Unary:
+		b.WriteByte('(')
+		if x.Op == "NOT" {
+			b.WriteString("NOT ")
+		} else {
+			b.WriteString(x.Op)
+		}
+		printExpr(b, x.X)
+		b.WriteByte(')')
+	case Binary:
+		b.WriteByte('(')
+		printExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		printExpr(b, x.R)
+		b.WriteByte(')')
+	case Between:
+		b.WriteByte('(')
+		printExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		printExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		printExpr(b, x.Hi)
+		b.WriteByte(')')
+	case InList:
+		b.WriteByte('(')
+		printExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, it := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, it)
+		}
+		b.WriteString("))")
+	case IsNull:
+		b.WriteByte('(')
+		printExpr(b, x.X)
+		b.WriteString(" IS ")
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL)")
+	default:
+		b.WriteString("/*unknown expr*/")
+	}
+}
+
+func printStmt(b *strings.Builder, st Statement) {
+	switch s := st.(type) {
+	case *Select:
+		printSelect(b, s)
+	case *Insert:
+		b.WriteString("INSERT INTO ")
+		printIdent(b, s.Table)
+		if len(s.Cols) > 0 {
+			b.WriteString(" (")
+			for i, c := range s.Cols {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				printIdent(b, c)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				printExpr(b, e)
+			}
+			b.WriteByte(')')
+		}
+	case *Update:
+		b.WriteString("UPDATE ")
+		printIdent(b, s.Table)
+		b.WriteString(" SET ")
+		for i := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printIdent(b, s.Cols[i])
+			b.WriteString(" = ")
+			printExpr(b, s.Exprs[i])
+		}
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, s.Where)
+		}
+	case *Delete:
+		b.WriteString("DELETE FROM ")
+		printIdent(b, s.Table)
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, s.Where)
+		}
+	case *CreateTable:
+		b.WriteString("CREATE TABLE ")
+		printIdent(b, s.Name)
+		b.WriteString(" (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printIdent(b, c.Name)
+			b.WriteByte(' ')
+			printIdent(b, c.TypeName)
+		}
+		b.WriteByte(')')
+	case *DropTable:
+		b.WriteString("DROP TABLE ")
+		printIdent(b, s.Name)
+	case *TruncateTable:
+		b.WriteString("TRUNCATE TABLE ")
+		printIdent(b, s.Name)
+	case *CreateIndex:
+		b.WriteString("CREATE ")
+		switch {
+		case s.Unique:
+			b.WriteString("UNIQUE ")
+		case s.Kind == IndexBitmap:
+			b.WriteString("BITMAP ")
+		case s.Kind == IndexHash:
+			b.WriteString("HASH ")
+		}
+		b.WriteString("INDEX ")
+		printIdent(b, s.Name)
+		b.WriteString(" ON ")
+		printIdent(b, s.Table)
+		b.WriteString(" (")
+		printIdent(b, s.Column)
+		b.WriteByte(')')
+		if s.Kind == IndexDomain {
+			b.WriteString(" INDEXTYPE IS ")
+			printIdent(b, s.IndexType)
+			if s.Params != "" {
+				b.WriteString(" PARAMETERS (")
+				printString(b, s.Params)
+				b.WriteByte(')')
+			}
+		}
+	case *DropIndex:
+		b.WriteString("DROP INDEX ")
+		printIdent(b, s.Name)
+	case *AlterIndex:
+		b.WriteString("ALTER INDEX ")
+		printIdent(b, s.Name)
+		if s.Rebuild {
+			b.WriteString(" REBUILD")
+		} else {
+			b.WriteString(" PARAMETERS (")
+			printString(b, s.Params)
+			b.WriteByte(')')
+		}
+	case *CreateOperator:
+		b.WriteString("CREATE OPERATOR ")
+		printIdent(b, s.Name)
+		b.WriteByte(' ')
+		for i, bd := range s.Bindings {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("BINDING (")
+			for j, t := range bd.ArgTypes {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				printIdent(b, t)
+			}
+			b.WriteString(") RETURN ")
+			printIdent(b, bd.ReturnType)
+			b.WriteString(" USING ")
+			printIdent(b, bd.FuncName)
+		}
+		if s.AncillaryTo != "" {
+			b.WriteString(" ANCILLARY TO ")
+			printIdent(b, s.AncillaryTo)
+		}
+	case *DropOperator:
+		b.WriteString("DROP OPERATOR ")
+		printIdent(b, s.Name)
+	case *CreateIndexType:
+		b.WriteString("CREATE INDEXTYPE ")
+		printIdent(b, s.Name)
+		b.WriteString(" FOR ")
+		for i, sig := range s.For {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printIdent(b, sig.Name)
+			b.WriteByte('(')
+			for j, t := range sig.ArgTypes {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				printIdent(b, t)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteString(" USING ")
+		printIdent(b, s.Using)
+		if s.StatsBy != "" {
+			b.WriteString(" WITH STATS ")
+			printIdent(b, s.StatsBy)
+		}
+	case *DropIndexType:
+		b.WriteString("DROP INDEXTYPE ")
+		printIdent(b, s.Name)
+	case *CreateType:
+		b.WriteString("CREATE TYPE ")
+		printIdent(b, s.Name)
+		b.WriteString(" AS OBJECT (")
+		for i, a := range s.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printIdent(b, a.Name)
+			b.WriteByte(' ')
+			printIdent(b, a.TypeName)
+		}
+		b.WriteByte(')')
+	case *BeginStmt:
+		b.WriteString("BEGIN")
+	case *CommitStmt:
+		b.WriteString("COMMIT")
+	case *RollbackStmt:
+		b.WriteString("ROLLBACK")
+	case *AnalyzeTable:
+		b.WriteString("ANALYZE TABLE ")
+		printIdent(b, s.Name)
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN PLAN FOR ")
+		printSelect(b, s.Query)
+	default:
+		b.WriteString("/*unknown statement*/")
+	}
+}
+
+func printSelect(b *strings.Builder, s *Select) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			printIdent(b, it.Table)
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteByte('*')
+		default:
+			printExpr(b, it.Expr)
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				printIdent(b, it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printIdent(b, tr.Name)
+		if tr.Alias != "" {
+			b.WriteByte(' ')
+			printIdent(b, tr.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		printExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		printExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, oi := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, oi.Expr)
+			if oi.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(s.Limit))
+	}
+}

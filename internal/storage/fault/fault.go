@@ -1,0 +1,374 @@
+// Package fault wraps the storage backend and WAL sink with
+// deterministic failure injection, so crash recovery is exercised by a
+// scripted crash-point matrix instead of luck.
+//
+// The model is a volatile write cache over durable media, which is what
+// a real OS page cache plus disk gives you:
+//
+//   - Page writes and log appends land in a volatile overlay.
+//   - Sync applies the overlay to the wrapped ("durable") backend/sink.
+//   - A simulated power loss (Crash) discards everything volatile; a
+//     power loss *during* a sync applies a prefix of the overlay and can
+//     tear the page or log record it stopped in — the torn-write
+//     artifact recovery must detect by checksum.
+//
+// Every fault-eligible operation (page write, page-space sync, log
+// append, log sync, log reset) increments a shared deterministic
+// counter; a Plan maps counter values to actions. Running a workload
+// once with an empty plan counts the total ops; re-running it with
+// CrashAt(i) for each i sweeps every crash point.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// ErrInjected is returned by an operation the plan says fails (the
+// device stays alive; the engine sees an I/O error).
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// ErrCrashed is returned by every operation after a simulated power
+// loss. The harness reopens from the durable state when it sees it.
+var ErrCrashed = errors.New("fault: simulated power loss")
+
+// Action is what the plan does when the op counter hits a point.
+type Action int
+
+// Actions.
+const (
+	// Fail makes the operation return ErrInjected without doing
+	// anything; the device keeps working afterwards.
+	Fail Action = iota
+	// Crash simulates power loss before the operation takes effect:
+	// nothing volatile survives, every later op returns ErrCrashed.
+	Crash
+	// CrashTorn is Crash during the operation: a sync applies a prefix
+	// of its pending writes and tears the one it stopped in (half new
+	// bytes, half old); an append tears its record. Non-tearable ops
+	// degrade to plain Crash.
+	CrashTorn
+)
+
+// Injector carries the op counter and the fault plan, shared by the
+// backend and sink wrappers of one simulated device.
+type Injector struct {
+	mu      sync.Mutex
+	ops     int
+	plan    map[int]Action
+	crashed bool
+}
+
+// NewInjector returns an injector with an empty plan (counts ops, never
+// faults).
+func NewInjector() *Injector { return &Injector{plan: map[int]Action{}} }
+
+// Set schedules an action at the given 1-based op index.
+func (in *Injector) Set(op int, a Action) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan[op] = a
+	return in
+}
+
+// Ops reports how many fault-eligible operations have happened.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether power loss has been simulated.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// step advances the op counter and returns the action to take: actNone,
+// or the injected fault. It is called once per fault-eligible op.
+type stepResult int
+
+const (
+	actNone stepResult = iota
+	actFail
+	actCrash
+	actCrashTorn
+)
+
+func (in *Injector) step() stepResult {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return actCrash
+	}
+	in.ops++
+	switch a, ok := in.plan[in.ops]; {
+	case !ok:
+		return actNone
+	case a == Fail:
+		return actFail
+	case a == CrashTorn:
+		in.crashed = true
+		return actCrashTorn
+	default:
+		in.crashed = true
+		return actCrash
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Backend wrapper
+
+// Backend wraps a storage.Backend with a volatile write overlay and
+// fault injection. The wrapped backend always holds exactly the durable
+// state; after a crash, reopen the database directly on it.
+type Backend struct {
+	mu    sync.Mutex
+	inj   *Injector
+	inner storage.Backend
+	// overlay holds volatile page writes; allocs counts volatile page
+	// allocations beyond inner.NumPages().
+	overlay map[storage.PageID][]byte
+	allocs  storage.PageID
+}
+
+// NewBackend wraps inner with fault injection driven by inj.
+func NewBackend(inj *Injector, inner storage.Backend) *Backend {
+	return &Backend{inj: inj, inner: inner, overlay: map[storage.PageID][]byte{}}
+}
+
+// ReadPage implements storage.Backend: overlay first, then durable.
+func (b *Backend) ReadPage(id storage.PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.inj.Crashed() {
+		return ErrCrashed
+	}
+	if pg, ok := b.overlay[id]; ok {
+		copy(buf, pg)
+		return nil
+	}
+	return b.inner.ReadPage(id, buf)
+}
+
+// WritePage implements storage.Backend; the write is volatile until the
+// next Sync.
+func (b *Backend) WritePage(id storage.PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.inj.step() {
+	case actFail:
+		return ErrInjected
+	case actCrash, actCrashTorn:
+		return ErrCrashed
+	}
+	if id >= b.inner.NumPages()+b.allocs {
+		return fmt.Errorf("fault: write of unallocated page %d", id)
+	}
+	b.overlay[id] = append([]byte(nil), buf[:storage.PageSize]...)
+	return nil
+}
+
+// Allocate implements storage.Backend; the extension is volatile until
+// the next Sync.
+func (b *Backend) Allocate() (storage.PageID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	id := b.inner.NumPages() + b.allocs
+	b.allocs++
+	b.overlay[id] = make([]byte, storage.PageSize)
+	return id, nil
+}
+
+// NumPages implements storage.Backend.
+func (b *Backend) NumPages() storage.PageID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.NumPages() + b.allocs
+}
+
+// Sync implements storage.Backend: applies the overlay to the durable
+// backend in page order, then syncs it. A crash here applies a prefix
+// and may tear the page it stopped in.
+func (b *Backend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	act := b.inj.step()
+	if act == actFail {
+		return ErrInjected
+	}
+	var ids []storage.PageID
+	for id := range b.overlay {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	apply := len(ids)
+	torn := false
+	switch act {
+	case actCrash:
+		return ErrCrashed // nothing pending becomes durable
+	case actCrashTorn:
+		apply = len(ids) / 2
+		torn = apply < len(ids) // tear the next page after the prefix
+	}
+	for i := 0; i < apply; i++ {
+		if err := b.applyLocked(ids[i], b.overlay[ids[i]]); err != nil {
+			return err
+		}
+	}
+	if torn {
+		id := ids[apply]
+		img := append([]byte(nil), b.overlay[id]...)
+		if id < b.inner.NumPages() {
+			// Half the new image over the old durable half: a torn write.
+			old := make([]byte, storage.PageSize)
+			if err := b.inner.ReadPage(id, old); err != nil {
+				return err
+			}
+			copy(img[storage.PageSize/2:], old[storage.PageSize/2:])
+		} else {
+			for i := storage.PageSize / 2; i < storage.PageSize; i++ {
+				img[i] = 0
+			}
+		}
+		if err := b.applyLocked(id, img); err != nil {
+			return err
+		}
+	}
+	if act == actCrashTorn {
+		return ErrCrashed
+	}
+	b.overlay = map[storage.PageID][]byte{}
+	b.allocs = 0
+	return b.inner.Sync()
+}
+
+// applyLocked writes one page durably, extending the inner page space
+// when the page was volatile-allocated.
+func (b *Backend) applyLocked(id storage.PageID, img []byte) error {
+	for b.inner.NumPages() <= id {
+		if _, err := b.inner.Allocate(); err != nil {
+			return err
+		}
+	}
+	return b.inner.WritePage(id, img)
+}
+
+// Close implements storage.Backend. The inner backend stays open so the
+// harness can reopen the durable state.
+func (b *Backend) Close() error {
+	if b.inj.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// WAL sink wrapper
+
+// Sink wraps a storage.WALSink with volatile-append and fault
+// injection; appended bytes reach the durable sink only at Sync.
+type Sink struct {
+	mu      sync.Mutex
+	inj     *Injector
+	inner   storage.WALSink
+	pending []byte
+}
+
+// NewSink wraps inner with fault injection driven by inj.
+func NewSink(inj *Injector, inner storage.WALSink) *Sink {
+	return &Sink{inj: inj, inner: inner}
+}
+
+// Append implements storage.WALSink; the bytes are volatile until Sync.
+func (s *Sink) Append(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.inj.step() {
+	case actFail:
+		return ErrInjected
+	case actCrash, actCrashTorn:
+		return ErrCrashed
+	}
+	s.pending = append(s.pending, p...)
+	return nil
+}
+
+// Sync implements storage.WALSink: pushes pending bytes to the durable
+// sink and syncs it. A crash here makes a prefix durable — torn mid-
+// record when the plan says CrashTorn, which record checksums must
+// catch at recovery.
+func (s *Sink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.inj.step() {
+	case actFail:
+		return ErrInjected
+	case actCrash:
+		return ErrCrashed
+	case actCrashTorn:
+		half := s.pending[:len(s.pending)/2]
+		if len(half) > 0 {
+			if err := s.inner.Append(half); err != nil {
+				return err
+			}
+			if err := s.inner.Sync(); err != nil {
+				return err
+			}
+		}
+		return ErrCrashed
+	}
+	if len(s.pending) > 0 {
+		if err := s.inner.Append(s.pending); err != nil {
+			return err
+		}
+		s.pending = nil
+	}
+	return s.inner.Sync()
+}
+
+// Contents implements storage.WALSink (durable plus pending volatile
+// bytes, the view a live process has of its own log).
+func (s *Sink) Contents() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inj.Crashed() {
+		return nil, ErrCrashed
+	}
+	durable, err := s.inner.Contents()
+	if err != nil {
+		return nil, err
+	}
+	return append(durable, s.pending...), nil
+}
+
+// Reset implements storage.WALSink (the post-checkpoint truncation).
+func (s *Sink) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.inj.step() {
+	case actFail:
+		return ErrInjected
+	case actCrash, actCrashTorn:
+		return ErrCrashed
+	}
+	s.pending = nil
+	return s.inner.Reset()
+}
+
+// Close implements storage.WALSink; the inner sink stays open for
+// post-crash reopening.
+func (s *Sink) Close() error {
+	if s.inj.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}

@@ -194,7 +194,11 @@ type Page struct {
 	Data  []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in LRU when unpinned
+	// logged records that the current dirty image has been appended to
+	// the WAL; a later modification clears it so the page is re-logged
+	// at the next commit.
+	logged bool
+	elem   *list.Element // position in LRU when unpinned
 }
 
 // Pager is the buffer pool: it caches up to capacity page frames over a
@@ -209,6 +213,12 @@ type Pager struct {
 	stats    Stats
 
 	freeList []PageID // pages released by dropped objects, reusable
+
+	// noSteal, set when a WAL governs the backend, forbids evicting
+	// dirty frames: uncommitted changes must never reach the page file,
+	// or a crash would surface them with no undo log to remove them.
+	// Dirty frames then stay resident until FlushAll (checkpoint).
+	noSteal bool
 }
 
 // NewPager creates a buffer pool with the given frame capacity (minimum 8)
@@ -293,6 +303,7 @@ func (p *Pager) Unpin(pg *Page, dirty bool) {
 	defer p.mu.Unlock()
 	if dirty {
 		pg.dirty = true
+		pg.logged = false
 	}
 	pg.pins--
 	if pg.pins < 0 {
@@ -320,33 +331,77 @@ func (p *Pager) Free(id PageID) {
 	p.freeList = append(p.freeList, id)
 }
 
+// SetNoSteal switches the pool to a no-steal eviction policy: dirty
+// frames are never written back outside FlushAll. The engine enables it
+// when a WAL governs the backend (redo-only logging is correct only if
+// uncommitted changes cannot reach the page file).
+func (p *Pager) SetNoSteal(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noSteal = on
+}
+
+// AppendUnlogged appends to w the image of every dirty frame not yet
+// logged since it was last modified, marking each as logged, and returns
+// how many pages were appended. The WAL commit protocol calls it with
+// commits serialized, so the set of unlogged dirty frames is exactly the
+// committing transaction's write set (plus any page a concurrent
+// statement has modified under its own table lock).
+func (p *Pager) AppendUnlogged(w *WAL) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Deterministic order makes crash points reproducible.
+	var ids []PageID
+	for id, pg := range p.frames {
+		if pg.dirty && !pg.logged {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pg := p.frames[id]
+		if err := w.AppendPage(id, pg.Data); err != nil {
+			return 0, err
+		}
+		pg.logged = true
+	}
+	return len(ids), nil
+}
+
 // FlushAll writes every dirty frame back to the backend and syncs it.
 func (p *Pager) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, pg := range p.frames {
+	// Deterministic order makes crash points in fault-injecting backends
+	// reproducible run to run.
+	var ids []PageID
+	for id, pg := range p.frames {
 		if pg.dirty {
-			if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
-				return err
-			}
-			p.stats.Writes++
-			pg.dirty = false
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pg := p.frames[id]
+		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+			return err
+		}
+		p.stats.Writes++
+		pg.dirty = false
+		pg.logged = false
 	}
 	return p.backend.Sync()
 }
 
-// Close flushes and closes the underlying backend.
+// Close flushes and closes the underlying backend. A flush failure does
+// not skip the backend close; the errors are folded together.
 func (p *Pager) Close() error {
 	if invariantsEnabled {
 		if leaked := p.PinnedPages(); len(leaked) > 0 {
 			panic(fmt.Sprintf("storage: pager closed with %d pinned page(s) %v: pin leak", len(leaked), leaked))
 		}
 	}
-	if err := p.FlushAll(); err != nil {
-		return err
-	}
-	return p.backend.Close()
+	return errors.Join(p.FlushAll(), p.backend.Close())
 }
 
 // PinnedPages returns the ids of frames whose pin count is non-zero,
@@ -383,8 +438,17 @@ func (p *Pager) evictIfFullLocked() error {
 		return nil
 	}
 	back := p.lru.Back()
+	if p.noSteal {
+		// Walk towards the front for the least-recently-used *clean*
+		// page; dirty pages must not be stolen to the backend before the
+		// checkpoint writes them (redo-only WAL). If every unpinned page
+		// is dirty the pool grows until the next FlushAll.
+		for back != nil && p.frames[back.Value.(PageID)].dirty {
+			back = back.Prev()
+		}
+	}
 	if back == nil {
-		return nil // all pinned; allow temporary growth
+		return nil // all pinned (or all dirty under no-steal); allow growth
 	}
 	id := back.Value.(PageID)
 	p.lru.Remove(back)

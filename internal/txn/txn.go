@@ -53,7 +53,15 @@ type Txn struct {
 	// the transaction runs (§5 of the paper).
 	onCommit   []func()
 	onRollback []func()
+	// forceDurable makes the commit sink write a commit record even when
+	// the transaction dirtied no pages (DDL mutates only the in-memory
+	// dictionary, which rides in the commit record's snapshot).
+	forceDurable bool
 }
+
+// ForceDurable marks the transaction as requiring a durable commit
+// record even if it dirtied no pages.
+func (t *Txn) ForceDurable() { t.forceDurable = true }
 
 // OnCommit attaches a handler fired if (and only if) this transaction
 // commits.
@@ -75,6 +83,24 @@ type Manager struct {
 	nextID     int64
 	onCommit   []func(txID int64)
 	onRollback []func(txID int64)
+	commitSink func(txID int64, forceDurable bool) error
+}
+
+// SetCommitSink installs the durability hook run by every Commit before
+// the transaction is finalized or acknowledged. The engine points it at
+// the WAL: append the transaction's page images and a commit record,
+// then fsync. If the sink fails, the commit does not happen — the
+// transaction is rolled back and the error returned to the caller.
+func (m *Manager) SetCommitSink(fn func(txID int64, forceDurable bool) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitSink = fn
+}
+
+func (m *Manager) sink() func(int64, bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitSink
 }
 
 // NewManager returns a transaction manager.
@@ -158,11 +184,21 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 	return firstErr
 }
 
-// Commit finishes the transaction, discarding undo and firing commit
-// events.
+// Commit finishes the transaction: it runs the durability sink (WAL
+// append + fsync) and only then discards undo and fires commit events.
+// A sink failure rolls the transaction back — an unacknowledged commit
+// must leave no trace, in memory or on disk.
 func (t *Txn) Commit() error {
 	if t.state != Active {
 		return fmt.Errorf("txn: commit on finished transaction")
+	}
+	if sink := t.mgr.sink(); sink != nil {
+		if err := sink(t.ID, t.forceDurable); err != nil {
+			if rbErr := t.Rollback(); rbErr != nil {
+				return fmt.Errorf("txn: commit durability failed: %w (rollback also failed: %v)", err, rbErr)
+			}
+			return fmt.Errorf("txn: commit durability failed, transaction rolled back: %w", err)
+		}
 	}
 	t.state = Committed
 	t.undo = nil
