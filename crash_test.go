@@ -21,6 +21,7 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	extdb "repro"
 	"repro/internal/cartridge/colls"
@@ -541,6 +542,246 @@ func TestCrashRecoveryIsIdempotent(t *testing.T) {
 	info := verifyDurable(t, media, m, "second recovery")
 	if info.Commits != 0 || info.Records != 0 {
 		t.Fatalf("second recovery replayed a log the first should have truncated: %+v", info)
+	}
+}
+
+// TestCrashMultiSessionIsolation exercises recovery with more than one
+// session in flight — the case the single-session matrix cannot reach.
+// Redo-only commit logging sweeps every unlogged dirty frame under the
+// committing transaction's record, which is only correct because the
+// engine admits one open writing transaction at a time (the write gate).
+// The test pins both halves of that contract:
+//
+//   - a write in another session blocks while a write transaction is
+//     open, instead of committing and durably logging the open
+//     transaction's dirty pages under its own commit record;
+//   - after a crash with a write transaction open, its changes are gone
+//     on reopen while everything acknowledged before the crash survives,
+//     with heap/index agreement.
+func TestCrashMultiSessionIsolation(t *testing.T) {
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	inj := fault.NewInjector()
+	db, err := extdb.Open(extdb.Options{
+		Backend: fault.NewBackend(inj, media.backend),
+		WALSink: fault.NewSink(inj, media.sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, sB := db.NewSession(), db.NewSession()
+	if err := extdb.InstallTextCartridge(db, sA); err != nil {
+		t.Fatal(err)
+	}
+	mustExec := func(s *extdb.Session, stmt string) {
+		t.Helper()
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	mustExec(sA, `CREATE TABLE Docs(id NUMBER, body VARCHAR2)`)
+	mustExec(sA, `CREATE INDEX DocsIdx ON Docs(body) INDEXTYPE IS TextIndexType`)
+	mustExec(sA, `INSERT INTO Docs VALUES (1, 'unix basics')`)
+
+	// B opens a transaction and writes; it now owns the write gate.
+	if err := sB.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(sB, `INSERT INTO Docs VALUES (2, 'unix kernel')`)
+	mustExec(sB, `INSERT INTO Docs VALUES (3, 'oracle tuning')`)
+
+	// A's autocommit write must wait for B's transaction to finish. If it
+	// completes while B is open, its commit record would have durably
+	// captured B's in-flight pages.
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := sA.Exec(`INSERT INTO Docs VALUES (4, 'unix shell')`)
+		aDone <- err
+	}()
+	select {
+	case err := <-aDone:
+		t.Fatalf("concurrent write finished (err=%v) while another write transaction was open", err)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked on the write gate, as required.
+	}
+	if err := sB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aDone; err != nil {
+		t.Fatalf("write after gate release: %v", err)
+	}
+
+	// A second transaction is open and dirty at the moment of power loss;
+	// another session is blocked behind it, so nothing can commit it.
+	if err := sB.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(sB, `INSERT INTO Docs VALUES (5, 'never committed')`)
+	go func() {
+		_, err := sA.Exec(`INSERT INTO Docs VALUES (6, 'also never committed')`)
+		aDone <- err
+	}()
+	select {
+	case err := <-aDone:
+		t.Fatalf("concurrent write finished (err=%v) while another write transaction was open", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	inj.CrashNow()
+	// Tear the dead process down: B's rollback releases the gate so A's
+	// blocked statement can fail out against the dead media.
+	_ = sB.Rollback()
+	if err := <-aDone; err == nil {
+		t.Fatal("write against crashed media reported success")
+	}
+
+	// Reopen the durable media: docs 1-4 were acknowledged, 5 and 6 never.
+	db2, s2 := reopenDurable(t, media, "multi-session")
+	defer func() {
+		if err := db2.Close(); err != nil {
+			t.Fatalf("close recovered database: %v", err)
+		}
+	}()
+	rs, err := s2.Query(`SELECT id FROM Docs ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for _, r := range rs.Rows {
+		ids = append(ids, r[0].Int64())
+	}
+	if want := []int64{1, 2, 3, 4}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Docs after crash with open transaction = %v, want %v", ids, want)
+	}
+	for _, word := range []string{"unix", "oracle", "committed"} {
+		full := queryDocIDs(t, s2, extdb.ForceFullScan, word, "multi-session")
+		dom := queryDocIDs(t, s2, extdb.ForceDomainScan, word, "multi-session")
+		if !reflect.DeepEqual(full, dom) {
+			t.Fatalf("Contains(%q): full scan %v != domain scan %v", word, full, dom)
+		}
+	}
+}
+
+// leakySink models the OS page cache under a real file WAL: Append
+// reaches durable media immediately (as a buffered write may), while
+// Sync can fail. A commit whose sync failed is reported rolled back —
+// its record must then never replay as committed, even though the
+// append itself became durable.
+type leakySink struct {
+	*storage.MemWALSink
+	failNextSync bool
+}
+
+func (s *leakySink) Sync() error {
+	if s.failNextSync {
+		s.failNextSync = false
+		return errors.New("leaky: injected sync failure")
+	}
+	return s.MemWALSink.Sync()
+}
+
+// TestCrashFailedSyncDoesNotResurrect is the reopen half of WAL
+// poisoning: after a commit's log sync fails and the transaction is
+// rolled back, reopening the database must not resurrect it from log
+// bytes that happened to reach durable media before the failed sync.
+func TestCrashFailedSyncDoesNotResurrect(t *testing.T) {
+	backend := storage.NewMemBackend()
+	sink := &leakySink{MemWALSink: storage.NewMemWALSink()}
+	db, err := extdb.Open(extdb.Options{Backend: backend, WALSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	if _, err := s.Exec(`CREATE TABLE Docs(id NUMBER, body VARCHAR2)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (1, 'survives')`); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.failNextSync = true
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (2, 'rolled back')`); err == nil {
+		t.Fatal("commit with failing log sync reported success")
+	}
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (3, 'refused')`); !errors.Is(err, extdb.ErrWALBroken) {
+		t.Fatalf("commit after failed sync = %v, want ErrWALBroken", err)
+	}
+	if err := db.Close(); !errors.Is(err, extdb.ErrWALBroken) {
+		t.Fatalf("close of poisoned database = %v, want ErrWALBroken", err)
+	}
+
+	db2, err := extdb.Open(extdb.Options{Backend: backend, WALSink: sink})
+	if err != nil {
+		t.Fatalf("reopen after failed sync: %v", err)
+	}
+	defer func() {
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rs, err := db2.NewSession().Query(`SELECT id FROM Docs ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for _, r := range rs.Rows {
+		ids = append(ids, r[0].Int64())
+	}
+	if want := []int64{1}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Docs after reopen = %v, want %v (the rolled-back insert must not resurrect)", ids, want)
+	}
+}
+
+// TestCrashCheckpointRefusedWithOpenTxn pins Checkpoint's enforcement:
+// while a write transaction is open it returns ErrTxnOpen instead of
+// durably committing uncommitted pages, Close degrades to a discard
+// (recovery's job), and reopening shows only acknowledged data.
+func TestCrashCheckpointRefusedWithOpenTxn(t *testing.T) {
+	backend := storage.NewMemBackend()
+	sink := storage.NewMemWALSink()
+	db, err := extdb.Open(extdb.Options{Backend: backend, WALSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	if _, err := s.Exec(`CREATE TABLE Docs(id NUMBER, body VARCHAR2)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (1, 'committed')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO Docs VALUES (2, 'uncommitted')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, extdb.ErrTxnOpen) {
+		t.Fatalf("checkpoint with open write transaction = %v, want ErrTxnOpen", err)
+	}
+	// Close cannot checkpoint either; it must not flush the open
+	// transaction's pages on its way out.
+	if err := db.Close(); !errors.Is(err, extdb.ErrTxnOpen) {
+		t.Fatalf("close with open write transaction = %v, want ErrTxnOpen", err)
+	}
+
+	db2, err := extdb.Open(extdb.Options{Backend: backend, WALSink: sink})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rs, err := db2.NewSession().Query(`SELECT id FROM Docs ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for _, r := range rs.Rows {
+		ids = append(ids, r[0].Int64())
+	}
+	if want := []int64{1}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Docs after discarding close = %v, want %v (uncommitted data leaked)", ids, want)
 	}
 }
 

@@ -68,6 +68,11 @@ func Open(opts Options) (*DB, error) { return engine.Open(opts) }
 // until it is reopened, which recovers from the durable log prefix.
 var ErrWALBroken = engine.ErrWALBroken
 
+// ErrTxnOpen is returned by Checkpoint (and Close) while a write
+// transaction is open: flushing uncommitted pages would durably commit
+// them with no undo, so the checkpoint is refused.
+var ErrTxnOpen = engine.ErrTxnOpen
+
 // Forced access paths for Session.SetForcedPath (optimizer hints).
 const (
 	ForceAuto       = engine.ForceAuto

@@ -36,6 +36,11 @@ func (s *Session) execDDL(st sql.Statement) error {
 		return s.dispatchDDL(st)
 	}
 	t := s.db.txns.Begin()
+	// DDL writes catalog pages and may build whole indexes through
+	// callback sessions sharing t; take the write gate before any table
+	// lock (the implicit commit above already released any gate this
+	// session's explicit transaction held).
+	s.db.acquireWriteGate(t)
 	s.tx, s.explicit = t, true
 	err := s.dispatchDDL(st)
 	s.tx, s.explicit = nil, false

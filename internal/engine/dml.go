@@ -163,6 +163,8 @@ func (s *Session) maintainDomain(tbl *catalog.Table, fn func(m extidx.IndexMetho
 }
 
 func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error) {
+	release := s.beginWrite()
+	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
 	tbl, ok := s.db.cat.Table(x.Table)
@@ -225,6 +227,8 @@ func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error
 // parsing, used for object/collection values that have no literal syntax)
 // with the same validation and index maintenance as INSERT.
 func (s *Session) InsertRow(table string, row []types.Value) error {
+	release := s.beginWrite()
+	defer release()
 	unlock := s.lockTables(nil, []string{table})
 	defer unlock()
 	tbl, ok := s.db.cat.Table(table)
@@ -318,6 +322,8 @@ func (s *Session) matchTargets(tbl *catalog.Table, where sql.Expr, params []type
 }
 
 func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error) {
+	release := s.beginWrite()
+	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
 	tbl, ok := s.db.cat.Table(x.Table)
@@ -417,6 +423,8 @@ func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error
 }
 
 func (s *Session) execDelete(x *sql.Delete, params []types.Value) (Result, error) {
+	release := s.beginWrite()
+	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
 	tbl, ok := s.db.cat.Table(x.Table)

@@ -68,18 +68,71 @@ type DB struct {
 	// wal is the redo log, nil when logging is disabled. walMu serializes
 	// commit-record appends and checkpoint truncation against each other.
 	// walBroken is set after any failed log write: the log tail is then
-	// suspect (a commit record for a rolled-back transaction may be
-	// sitting in an unsynced buffer), so further commits are refused until
-	// the database is reopened and recovers from the durable prefix.
+	// suspect, so further commits are refused until the database is
+	// reopened and recovers from the durable prefix. (The suspect tail
+	// itself is truncated back to the last synced length at failure time,
+	// so an unacknowledged commit record cannot replay as committed.)
 	wal       *storage.WAL
 	walMu     sync.Mutex
 	walBroken bool
 	recovery  storage.RecoveryInfo
+
+	// writeGate admits one open writing transaction at a time when a WAL
+	// governs the database. Redo-only commit logging sweeps every
+	// unlogged dirty buffer frame under the committing transaction's
+	// commit record (Pager.AppendUnlogged); that sweep equals the
+	// committing transaction's write set only if no other transaction has
+	// modifications in flight. Write statements acquire the gate before
+	// taking any table lock (a gate waiter never holds table locks, so no
+	// lock-order cycle exists) and hold it until their transaction
+	// commits or rolls back. Checkpoint requires the gate to be free.
+	// writeTxn, guarded by gateMu, identifies the holder so statements of
+	// the same transaction (including callback sessions, which share it)
+	// re-enter without blocking.
+	writeGate sync.Mutex
+	gateMu    sync.Mutex
+	writeTxn  *txn.Txn
 }
 
 // ErrWALBroken is returned by commits after a write-ahead-log write has
 // failed; reopen the database to recover.
 var ErrWALBroken = errors.New("engine: write-ahead log failed; reopen to recover")
+
+// ErrTxnOpen is returned by Checkpoint (and therefore Close) when a
+// write transaction is still open: flushing its uncommitted pages would
+// durably commit them with no undo, so the checkpoint is refused.
+var ErrTxnOpen = errors.New("engine: checkpoint refused: a write transaction is open")
+
+// acquireWriteGate blocks until t holds the database write gate, making
+// the single-open-writer assumption behind the commit sweep real rather
+// than assumed. Re-entrant per transaction (callback sessions share the
+// invoking transaction). The gate is released when the transaction
+// commits or rolls back — including the rollback a failed commit sink
+// triggers.
+func (db *DB) acquireWriteGate(t *txn.Txn) {
+	if db.wal == nil || t == nil {
+		return
+	}
+	db.gateMu.Lock()
+	held := db.writeTxn == t
+	db.gateMu.Unlock()
+	if held {
+		return
+	}
+	db.writeGate.Lock()
+	db.gateMu.Lock()
+	db.writeTxn = t
+	db.gateMu.Unlock()
+	release := func() {
+		db.gateMu.Lock()
+		db.writeTxn = nil
+		db.gateMu.Unlock()
+		db.writeGate.Unlock()
+	}
+	t.OnCommit(release)
+	t.OnRollback(release)
+	//vetx:ignore lockbalance -- gate ownership transfers to the transaction; commit/rollback handlers release it
+}
 
 // RecoveryInfo reports what WAL replay did during Open (zero value when
 // no WAL is configured or the log was empty).
@@ -149,7 +202,7 @@ func Open(opts Options) (*DB, error) {
 		recovery:          recovery,
 	}
 	if sink != nil {
-		db.wal = storage.NewWAL(sink, recovery.LastSeq)
+		db.wal = storage.NewWAL(sink, recovery.LastSeq, recovery.IntactBytes)
 		// Redo-only logging is correct only if uncommitted changes never
 		// reach the page file: no-steal buffer pool.
 		pager.SetNoSteal(true)
@@ -182,11 +235,24 @@ func Open(opts Options) (*DB, error) {
 
 // Close checkpoints (snapshot + flush + WAL truncation) and closes the
 // database. Close attempts every cleanup step even when an earlier one
-// fails, folding the errors together.
+// fails, folding the errors together. When the checkpoint is refused or
+// fails under a WAL (open write transaction, broken or partially
+// flushed log), the buffer pool is discarded instead of flushed —
+// flushing could push uncommitted or unlogged pages to the page file —
+// and the next Open recovers committed state from the log.
 func (db *DB) Close() error {
 	err := db.Checkpoint()
-	err = errors.Join(err, db.pager.Close())
+	if err != nil && db.wal != nil {
+		err = errors.Join(err, db.pager.CloseDiscard())
+	} else {
+		err = errors.Join(err, db.pager.Close())
+	}
 	if db.wal != nil {
+		// One more attempt to cut a suspect tail left by a failed commit
+		// whose truncation also failed; idempotent when already clean.
+		db.walMu.Lock()
+		err = errors.Join(err, db.wal.TruncateToSynced())
+		db.walMu.Unlock()
 		err = errors.Join(err, db.wal.Close())
 	}
 	return err
@@ -204,26 +270,34 @@ func (db *DB) logCommit(txID int64, forceDurable bool) error {
 	if db.walBroken {
 		return ErrWALBroken
 	}
+	// fail poisons the WAL and cuts the log back to the last successfully
+	// synced length: the bytes past it may or may not have reached
+	// durable media, and a commit record the client is about to see fail
+	// must never replay as committed after reopening. If even the
+	// truncation fails, Close retries it; the poisoning stands either way.
+	fail := func(err error) error {
+		db.walBroken = true
+		if terr := db.wal.TruncateToSynced(); terr != nil {
+			return errors.Join(err, fmt.Errorf("engine: discard suspect wal tail: %w", terr))
+		}
+		return err
+	}
 	n, err := db.pager.AppendUnlogged(db.wal)
 	if err != nil {
-		db.walBroken = true
-		return err
+		return fail(err)
 	}
 	if n == 0 && !forceDurable {
 		return nil
 	}
 	snap, err := db.snapshotBytes()
 	if err != nil {
-		db.walBroken = true
-		return err
+		return fail(err)
 	}
 	if err := db.wal.AppendCommit(txID, snap); err != nil {
-		db.walBroken = true
-		return err
+		return fail(err)
 	}
 	if err := db.wal.Sync(); err != nil {
-		db.walBroken = true
-		return err
+		return fail(err)
 	}
 	return nil
 }
@@ -256,13 +330,19 @@ func (db *DB) Workspace() *extidx.Workspace { return db.ws }
 // Checkpoint snapshots the dictionary, flushes all dirty pages to the
 // backend (making the on-disk image reopenable), and — once the page
 // file is durably in sync — truncates the WAL, which the flush just made
-// redundant. Checkpoint must not run while a transaction is open: the
-// flush writes every dirty page, and under redo-only logging an
-// uncommitted page on disk would have no undo to remove it.
+// redundant. Checkpoint must not run while a write transaction is open:
+// the flush writes every dirty page, and under redo-only logging an
+// uncommitted page on disk would have no undo to remove it. That rule is
+// enforced, not assumed — Checkpoint holds the write gate for its whole
+// run and returns ErrTxnOpen when a writer has it.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return db.SaveSnapshot()
 	}
+	if !db.writeGate.TryLock() {
+		return ErrTxnOpen
+	}
+	defer db.writeGate.Unlock()
 	if err := db.writeSnapshotChain(); err != nil {
 		return err
 	}

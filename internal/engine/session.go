@@ -90,6 +90,33 @@ func (s *Session) begin() (*txn.Txn, func(err error) error) {
 	}
 }
 
+// beginWrite ensures the statement about to modify data holds the
+// database write gate, returning the statement-end release (a no-op
+// when the gate is transaction-scoped or not needed). It must run
+// before the statement takes any table lock: gate waiters hold no
+// locks, so the gate → table-lock order can never cycle.
+//
+//   - No WAL: the commit path does no dirty-frame sweep, no gate.
+//   - Callback session: the invoking write statement's transaction
+//     already holds the gate.
+//   - Explicit transaction: the gate is acquired for the transaction
+//     and released when it commits or rolls back.
+//   - Autocommit: the statement's transaction begins and commits inside
+//     the statement, so the gate is held for the statement's duration.
+func (s *Session) beginWrite() func() {
+	db := s.db
+	if db.wal == nil || s.isCallback {
+		return func() {}
+	}
+	if s.explicit && s.tx != nil {
+		db.acquireWriteGate(s.tx)
+		return func() {}
+	}
+	db.writeGate.Lock()
+	//vetx:ignore lockbalance -- gate ownership transfers to the returned release closure; every caller defers it
+	return func() { db.writeGate.Unlock() }
+}
+
 // Begin starts an explicit transaction.
 func (s *Session) Begin() error {
 	if s.explicit {

@@ -89,6 +89,17 @@ func (in *Injector) Crashed() bool {
 	return in.crashed
 }
 
+// CrashNow simulates power loss at this instant, independent of the op
+// plan: everything volatile is lost and every later operation returns
+// ErrCrashed. Scenario tests use it to crash at a state of their
+// choosing (e.g. with a transaction left open) rather than at the Nth
+// operation.
+func (in *Injector) CrashNow() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashed = true
+}
+
 // step advances the op counter and returns the action to take: actNone,
 // or the injected fault. It is called once per fault-eligible op.
 type stepResult int
@@ -348,6 +359,31 @@ func (s *Sink) Contents() ([]byte, error) {
 		return nil, err
 	}
 	return append(durable, s.pending...), nil
+}
+
+// Truncate implements storage.WALSink: volatile bytes past n are
+// dropped, and when n cuts into the durable prefix the inner sink is
+// truncated too.
+func (s *Sink) Truncate(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.inj.step() {
+	case actFail:
+		return ErrInjected
+	case actCrash, actCrashTorn:
+		return ErrCrashed
+	}
+	durable, err := s.inner.Contents()
+	if err != nil {
+		return err
+	}
+	if d := int64(len(durable)); n <= d {
+		s.pending = nil
+		return s.inner.Truncate(n)
+	} else if keep := n - d; keep < int64(len(s.pending)) {
+		s.pending = s.pending[:keep]
+	}
+	return nil
 }
 
 // Reset implements storage.WALSink (the post-checkpoint truncation).

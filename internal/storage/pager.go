@@ -343,10 +343,14 @@ func (p *Pager) SetNoSteal(on bool) {
 
 // AppendUnlogged appends to w the image of every dirty frame not yet
 // logged since it was last modified, marking each as logged, and returns
-// how many pages were appended. The WAL commit protocol calls it with
-// commits serialized, so the set of unlogged dirty frames is exactly the
-// committing transaction's write set (plus any page a concurrent
-// statement has modified under its own table lock).
+// how many pages were appended. The sweep equals the committing
+// transaction's write set only because the engine admits a single open
+// writing transaction at a time (the DB write gate, held from before a
+// write statement's first page modification until its transaction
+// finishes): no concurrent transaction can have unlogged dirty frames
+// in flight when a commit runs. Non-transactional pages (superblock
+// initialization, snapshot-chain writes) may ride along; their content
+// is committed by construction.
 func (p *Pager) AppendUnlogged(w *WAL) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -402,6 +406,15 @@ func (p *Pager) Close() error {
 		}
 	}
 	return errors.Join(p.FlushAll(), p.backend.Close())
+}
+
+// CloseDiscard closes the backend without flushing the buffer pool. The
+// engine uses it when a checkpoint could not run safely (an open write
+// transaction, or a broken WAL): under redo-only logging, flushing would
+// push pages with no undo to the page file, so the pool is dropped and
+// the next Open recovers committed state from the log instead.
+func (p *Pager) CloseDiscard() error {
+	return p.backend.Close()
 }
 
 // PinnedPages returns the ids of frames whose pin count is non-zero,

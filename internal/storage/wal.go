@@ -39,6 +39,12 @@ type WALSink interface {
 	// Contents returns the entire durable+appended log image. It is
 	// called once, at recovery, before any Append.
 	Contents() ([]byte, error)
+	// Truncate discards every byte at offset n and beyond and makes the
+	// truncation durable. Recovery uses it to cut a torn tail back to the
+	// intact record prefix (so later appends stay readable), and the
+	// engine uses it to discard a suspect tail after a failed append or
+	// sync (so an unacknowledged commit record can never replay).
+	Truncate(n int64) error
 	// Reset discards the whole log (after a checkpoint made it
 	// redundant) and makes the truncation durable.
 	Reset() error
@@ -67,6 +73,15 @@ func (m *MemWALSink) Sync() error { return nil }
 // Contents implements WALSink.
 func (m *MemWALSink) Contents() ([]byte, error) {
 	return append([]byte(nil), m.buf...), nil
+}
+
+// Truncate implements WALSink.
+func (m *MemWALSink) Truncate(n int64) error {
+	if n < 0 || n > int64(len(m.buf)) {
+		return fmt.Errorf("storage: wal truncate to %d outside log of %d bytes", n, len(m.buf))
+	}
+	m.buf = m.buf[:n]
+	return nil
 }
 
 // Reset implements WALSink.
@@ -99,9 +114,14 @@ func OpenFileWALSink(path string) (*FileWALSink, error) {
 
 // Append implements WALSink.
 func (s *FileWALSink) Append(p []byte) error {
-	n, err := s.f.WriteAt(p, s.off)
-	s.off += int64(n)
-	return err
+	if _, err := s.f.WriteAt(p, s.off); err != nil {
+		// A short write leaves garbage past off, but off itself stays on
+		// the record boundary: Contents() never reads the partial bytes
+		// and the next append (if any) overwrites them.
+		return err
+	}
+	s.off += int64(len(p))
+	return nil
 }
 
 // Sync implements WALSink.
@@ -116,13 +136,18 @@ func (s *FileWALSink) Contents() ([]byte, error) {
 	return buf, nil
 }
 
-// Reset implements WALSink.
-func (s *FileWALSink) Reset() error {
-	if err := s.f.Truncate(0); err != nil {
+// Truncate implements WALSink.
+func (s *FileWALSink) Truncate(n int64) error {
+	if err := s.f.Truncate(n); err != nil {
 		return err
 	}
-	s.off = 0
+	s.off = n
 	return s.f.Sync()
+}
+
+// Reset implements WALSink.
+func (s *FileWALSink) Reset() error {
+	return s.Truncate(0)
 }
 
 // Close implements WALSink.
@@ -145,12 +170,21 @@ var walCRC = crc32.MakeTable(crc32.Castagnoli)
 type WAL struct {
 	sink WALSink
 	seq  uint64
+	// size is the log length in bytes including every append so far;
+	// synced/syncedSeq are the length and sequence number at the last
+	// successful Sync. TruncateToSynced cuts the log back to that point
+	// after a failed append or sync, so records whose durability is
+	// unknown can never be replayed.
+	size      int64
+	synced    int64
+	syncedSeq uint64
 }
 
 // NewWAL returns a WAL writer over sink, continuing after the given
-// sequence number (0 for a fresh or truncated log).
-func NewWAL(sink WALSink, lastSeq uint64) *WAL {
-	return &WAL{sink: sink, seq: lastSeq}
+// sequence number and byte length (both 0 for a fresh or truncated log;
+// recovery passes RecoveryInfo.LastSeq and RecoveryInfo.IntactBytes).
+func NewWAL(sink WALSink, lastSeq uint64, size int64) *WAL {
+	return &WAL{sink: sink, seq: lastSeq, size: size, synced: size, syncedSeq: lastSeq}
 }
 
 func (w *WAL) append(kind byte, payload []byte) error {
@@ -161,7 +195,11 @@ func (w *WAL) append(kind byte, payload []byte) error {
 	binary.BigEndian.PutUint64(rec[9:17], w.seq)
 	copy(rec[walHeaderSize:], payload)
 	binary.BigEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], walCRC))
-	return w.sink.Append(rec)
+	if err := w.sink.Append(rec); err != nil {
+		return err
+	}
+	w.size += int64(len(rec))
+	return nil
 }
 
 // AppendPage logs the full image of one page.
@@ -186,14 +224,39 @@ func (w *WAL) AppendCommit(txID int64, snapshot []byte) error {
 
 // Sync makes all appended records durable; a commit is acknowledged only
 // after its Sync returns.
-func (w *WAL) Sync() error { return w.sink.Sync() }
+func (w *WAL) Sync() error {
+	if err := w.sink.Sync(); err != nil {
+		return err
+	}
+	w.synced = w.size
+	w.syncedSeq = w.seq
+	return nil
+}
+
+// TruncateToSynced discards every byte appended after the last
+// successful Sync. The engine calls it when an append or sync fails: the
+// suspect tail — which may or may not have reached durable media — is
+// cut off, so a commit record the client was never acknowledged for
+// cannot be replayed as committed after reopening. Idempotent.
+func (w *WAL) TruncateToSynced() error {
+	if w.size == w.synced {
+		return nil
+	}
+	if err := w.sink.Truncate(w.synced); err != nil {
+		return err
+	}
+	w.size = w.synced
+	w.seq = w.syncedSeq
+	return nil
+}
 
 // Reset truncates the log after a checkpoint made it redundant.
 func (w *WAL) Reset() error {
 	if err := w.sink.Reset(); err != nil {
 		return err
 	}
-	w.seq = 0
+	w.seq, w.syncedSeq = 0, 0
+	w.size, w.synced = 0, 0
 	return nil
 }
 
@@ -222,6 +285,11 @@ type RecoveryInfo struct {
 	// writer continues after it until the post-recovery checkpoint
 	// truncates the log.
 	LastSeq uint64
+	// IntactBytes is the byte length of the intact record prefix. When a
+	// torn tail followed it, replay truncated the sink to this length, so
+	// records appended after recovery are contiguous with readable ones
+	// and a second replay can reach them.
+	IntactBytes int64
 	// Snapshot is the dictionary snapshot of the newest applied commit,
 	// nil when the log held no commits (the page-file snapshot chain is
 	// then authoritative).
@@ -231,6 +299,9 @@ type RecoveryInfo struct {
 // ReplayWAL applies every committed page image in the log to the backend
 // and returns the newest committed dictionary snapshot. The backend is
 // synced before return, so a crash during recovery just replays again.
+// A torn or corrupt tail ends replay and is truncated off the sink, so
+// everything appended afterwards — notably the post-recovery
+// checkpoint's records — stays reachable by a later replay.
 func ReplayWAL(b Backend, sink WALSink) (RecoveryInfo, error) {
 	var info RecoveryInfo
 	log, err := sink.Contents()
@@ -240,20 +311,18 @@ func ReplayWAL(b Backend, sink WALSink) (RecoveryInfo, error) {
 	pending := make(map[PageID][]byte)
 	pendingOrder := []PageID{}
 	off := 0
+scan:
 	for off < len(log) {
 		if len(log)-off < walHeaderSize {
-			info.TornTail = true
 			break
 		}
 		payloadLen := int(binary.BigEndian.Uint32(log[off : off+4]))
 		if len(log)-off-walHeaderSize < payloadLen {
-			info.TornTail = true
 			break
 		}
 		rec := log[off : off+walHeaderSize+payloadLen]
 		wantCRC := binary.BigEndian.Uint32(rec[4:8])
 		if crc32.Checksum(rec[8:], walCRC) != wantCRC {
-			info.TornTail = true
 			break
 		}
 		kind := rec[8]
@@ -261,17 +330,13 @@ func ReplayWAL(b Backend, sink WALSink) (RecoveryInfo, error) {
 		if seq != info.LastSeq+1 {
 			// A stale record from a previous log generation (or garbage
 			// that happened to checksum); stop here.
-			info.TornTail = true
 			break
 		}
-		info.LastSeq = seq
 		payload := rec[walHeaderSize:]
 		switch kind {
 		case walRecPage:
 			if payloadLen != 4+PageSize {
-				info.TornTail = true
-				off = len(log)
-				break
+				break scan
 			}
 			id := PageID(binary.BigEndian.Uint32(payload[0:4]))
 			if _, ok := pending[id]; !ok {
@@ -280,15 +345,11 @@ func ReplayWAL(b Backend, sink WALSink) (RecoveryInfo, error) {
 			pending[id] = payload[4 : 4+PageSize]
 		case walRecCommit:
 			if payloadLen < 12 {
-				info.TornTail = true
-				off = len(log)
-				break
+				break scan
 			}
 			snapLen := int(binary.BigEndian.Uint32(payload[8:12]))
 			if len(payload)-12 < snapLen {
-				info.TornTail = true
-				off = len(log)
-				break
+				break scan
 			}
 			if err := applyPending(b, pending, pendingOrder, &info); err != nil {
 				return info, err
@@ -300,16 +361,20 @@ func ReplayWAL(b Backend, sink WALSink) (RecoveryInfo, error) {
 				info.Snapshot = append([]byte(nil), payload[12:12+snapLen]...)
 			}
 		default:
-			info.TornTail = true
-			off = len(log)
+			break scan
 		}
-		if off >= len(log) {
-			break
-		}
+		info.LastSeq = seq
 		info.Records++
 		off += walHeaderSize + payloadLen
 	}
+	info.TornTail = off < len(log)
+	info.IntactBytes = int64(off)
 	info.DiscardedPages = len(pending)
+	if info.TornTail {
+		if err := sink.Truncate(info.IntactBytes); err != nil {
+			return info, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
 	if info.PagesApplied > 0 {
 		if err := b.Sync(); err != nil {
 			return info, fmt.Errorf("storage: sync after wal replay: %w", err)
