@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx
 
-.PHONY: build vet lint test race crash fuzz check bench
+.PHONY: build vet lint test race crash fuzz obs-smoke check bench
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,14 @@ crash:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 20s ./internal/sql
 
+## obs-smoke: run a reduced experiment sweep and fail if any required
+## engine counter (pager, txn, planner, ODCI fetch) stayed at zero —
+## catches silently disconnected instrumentation
+obs-smoke:
+	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8 -json -smoke > /dev/null
+
 ## check: everything CI runs
-check: build vet lint test race crash
+check: build vet lint test race crash obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -112,10 +112,7 @@ func meta(db *extdb.DB, s *extdb.Session, cmd string) bool {
 	case strings.HasPrefix(cmd, `\plan `):
 		run(s, "EXPLAIN PLAN FOR "+strings.TrimSuffix(strings.TrimPrefix(cmd, `\plan `), ";"))
 	case cmd == `\stats`:
-		st := db.PagerStats()
-		fmt.Printf("buffer pool: fetches=%d hits=%d misses=%d writes=%d evictions=%d allocs=%d\n",
-			st.Fetches, st.Hits, st.Misses, st.Writes, st.Evictions, st.Allocs)
-		fmt.Printf("ODCIIndexFetch calls: %d\n", db.FetchCalls())
+		fmt.Print(db.Metrics().String())
 	default:
 		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\quit")
 	}

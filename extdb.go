@@ -35,6 +35,7 @@ package extdb
 import (
 	"repro/internal/engine"
 	"repro/internal/extidx"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -132,5 +133,23 @@ type (
 )
 
 // PagerStats are buffer-pool I/O counters (logical and physical page
-// traffic), exposed for instrumentation.
+// traffic, plus WAL activity), exposed for instrumentation.
 type PagerStats = storage.Stats
+
+// Observability types (see DB.Metrics, DB.SetSlowQueryHook and
+// Session.QueryTraced; EXPLAIN ANALYZE renders a QueryTrace as SQL
+// output).
+type (
+	// Metrics is a full engine observability snapshot: pager/WAL, txn,
+	// planner, ODCI-callback and engine counters in one inert struct.
+	Metrics = engine.Metrics
+	// QueryTrace is the per-query trace behind EXPLAIN ANALYZE and the
+	// slow-query hook: candidate access paths with estimated cost and
+	// selectivity, per-operator estimated vs actual rows and time, and
+	// the query's pager/WAL footprint.
+	QueryTrace = obs.QueryTrace
+	// PlanCandidate is one costed access path inside a QueryTrace.
+	PlanCandidate = obs.PlanCandidate
+	// OpNode is one instrumented operator inside a QueryTrace.
+	OpNode = obs.OpNode
+)

@@ -211,7 +211,7 @@ func E5ChemFileVsLOB(cfg Config) Table {
 func E10CollectionIndex(cfg Config) Table {
 	n := cfg.pick(2000, 10000)
 	db, s := newDB()
-	defer db.Close()
+	defer mustClose(db)
 	must(colls.Register(db))
 	must(colls.Setup(s))
 	must1(s.Exec(`CREATE TABLE Employees(name VARCHAR2, hobbies VARRAY)`))

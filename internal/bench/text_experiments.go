@@ -36,7 +36,7 @@ func textDB(nDocs, wordsPerDoc, vocab int, params string) (*engine.DB, *engine.S
 func E1IndexVsFunctional(cfg Config) Table {
 	nDocs := cfg.pick(2500, 20000)
 	db, s, _ := textDB(nDocs, 30, 1500, "")
-	defer db.Close()
+	defer mustClose(db)
 
 	t := Table{
 		ID:         "E1",
@@ -143,7 +143,7 @@ func E2TextPre8iVs8i(cfg Config) Table {
 func E6OptimizerChoice(cfg Config) Table {
 	nDocs := cfg.pick(2500, 15000)
 	db, s, g := textDB(nDocs, 30, 1500, "")
-	defer db.Close()
+	defer mustClose(db)
 	must1(s.Exec(`CREATE UNIQUE INDEX doc_id ON docs(id)`))
 
 	t := Table{
@@ -216,7 +216,7 @@ func E7ScanContext(cfg Config) Table {
 func E8BatchFetch(cfg Config) Table {
 	nDocs := cfg.pick(3000, 15000)
 	db, s, g := textDB(nDocs, 30, 1500, "")
-	defer db.Close()
+	defer mustClose(db)
 	kw := g.CommonWord(1)
 	t := Table{
 		ID:         "E8",

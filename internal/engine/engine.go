@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/extidx"
 	"repro/internal/loblib"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -92,6 +94,31 @@ type DB struct {
 	writeGate sync.Mutex
 	gateMu    sync.Mutex
 	writeTxn  *txn.Txn
+
+	// Observability aggregates (see metrics.go). planner counts costed
+	// plans and chosen path kinds; odci counts and times every callback
+	// crossing the ODCI boundary (the registry's instrumented wrappers
+	// feed it). The engine-level counters below are plain obs.Counters so
+	// the untraced query path pays a handful of atomic adds and nothing
+	// else.
+	planner obs.PlannerStats
+	odci    obs.ODCIStats
+
+	selects       obs.Counter // SELECTs executed (any session)
+	tracedQueries obs.Counter // SELECTs run with a QueryTrace attached
+	slowQueries   obs.Counter // traces handed to the slow-query hook
+	gateWaits     obs.Counter // write-gate acquisitions that could block
+	gateWaitNanos obs.Counter // cumulative wall time spent acquiring it
+
+	// hookCfg holds the slow-query hook; atomic so the per-SELECT check
+	// is a single pointer load when no hook is installed.
+	hookCfg atomic.Pointer[slowHookCfg]
+}
+
+// slowHookCfg pairs the slow-query threshold with its callback.
+type slowHookCfg struct {
+	threshold time.Duration
+	fn        func(*obs.QueryTrace)
 }
 
 // ErrWALBroken is returned by commits after a write-ahead-log write has
@@ -119,7 +146,10 @@ func (db *DB) acquireWriteGate(t *txn.Txn) {
 	if held {
 		return
 	}
+	waitStart := time.Now()
 	db.writeGate.Lock()
+	db.gateWaits.Inc()
+	db.gateWaitNanos.Add(time.Since(waitStart).Nanoseconds())
 	db.gateMu.Lock()
 	db.writeTxn = t
 	db.gateMu.Unlock()
@@ -201,6 +231,9 @@ func Open(opts Options) (*DB, error) {
 		DefaultFetchBatch: 64,
 		recovery:          recovery,
 	}
+	// Every IndexMethods/StatsMethods resolve from here on hands out an
+	// instrumented wrapper feeding the per-callback counters.
+	db.reg.SetObserver(&db.odci)
 	if sink != nil {
 		db.wal = storage.NewWAL(sink, recovery.LastSeq, recovery.IntactBytes)
 		// Redo-only logging is correct only if uncommitted changes never
@@ -311,11 +344,23 @@ func (db *DB) Registry() *extidx.Registry { return db.reg }
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // PagerStats returns buffer-pool I/O counters (benchmarks read these to
-// reproduce the paper's logical-I/O claims).
-func (db *DB) PagerStats() storage.Stats { return db.pager.Stats() }
+// reproduce the paper's logical-I/O claims), with the WAL counters
+// folded in when a log governs the database.
+func (db *DB) PagerStats() storage.Stats {
+	s := db.pager.Stats()
+	if db.wal != nil {
+		db.wal.AddStats(&s)
+	}
+	return s
+}
 
-// ResetPagerStats zeroes the I/O counters.
-func (db *DB) ResetPagerStats() { db.pager.ResetStats() }
+// ResetPagerStats zeroes the I/O and WAL counters.
+func (db *DB) ResetPagerStats() {
+	db.pager.ResetStats()
+	if db.wal != nil {
+		db.wal.ResetStats()
+	}
+}
 
 // LOBStore exposes the database LOB store.
 func (db *DB) LOBStore() *loblib.LOBStore { return db.lobs }

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// EngineStats is the engine-level slice of a Metrics snapshot.
+type EngineStats struct {
+	// Selects counts executed SELECT statements (including callback-
+	// session queries issued by cartridge code).
+	Selects int64
+	// TracedQueries counts SELECTs that ran with a QueryTrace attached
+	// (EXPLAIN ANALYZE, QueryTraced, or a slow-query hook).
+	TracedQueries int64
+	// SlowQueries counts traces handed to the slow-query hook.
+	SlowQueries int64
+	// GateWaits / GateWaitNanos count write-gate acquisitions and the
+	// cumulative wall time spent waiting for the gate (single-open-writer
+	// admission; see DB.writeGate).
+	GateWaits     int64
+	GateWaitNanos int64
+	// FetchCalls counts ODCIIndexFetch interface crossings observed by
+	// domain scans (same counter as DB.FetchCalls).
+	FetchCalls int64
+}
+
+// WorkspaceStats is the scan-context workspace slice of a Metrics
+// snapshot (§2.2.3 return-handle transport).
+type WorkspaceStats struct {
+	Live      int // handles currently parked (nonzero implies a leak at rest)
+	HighWater int // maximum simultaneous handles
+}
+
+// Metrics is a full engine observability snapshot: every layer's
+// counters in one inert struct. Collect it with DB.Metrics.
+type Metrics struct {
+	Pager     storage.Stats
+	Txn       txn.Stats
+	Planner   obs.PlannerSnapshot
+	ODCI      obs.ODCISnapshot
+	Engine    EngineStats
+	Workspace WorkspaceStats
+}
+
+// Metrics snapshots every observability counter in the database.
+func (db *DB) Metrics() Metrics {
+	live, high := db.ws.Stats()
+	return Metrics{
+		Pager:   db.PagerStats(),
+		Txn:     db.txns.Stats(),
+		Planner: db.planner.Snapshot(),
+		ODCI:    db.odci.Snapshot(),
+		Engine: EngineStats{
+			Selects:       db.selects.Load(),
+			TracedQueries: db.tracedQueries.Load(),
+			SlowQueries:   db.slowQueries.Load(),
+			GateWaits:     db.gateWaits.Load(),
+			GateWaitNanos: db.gateWaitNanos.Load(),
+			FetchCalls:    db.FetchCalls(),
+		},
+		Workspace: WorkspaceStats{Live: live, HighWater: high},
+	}
+}
+
+// ResetMetrics zeroes every observability counter (benchmark phases).
+// The workspace high-water mark is not reset: it tracks the lifetime
+// maximum, which leak checks rely on.
+func (db *DB) ResetMetrics() {
+	db.ResetPagerStats()
+	db.txns.ResetStats()
+	db.planner.Reset()
+	db.odci.Reset()
+	db.selects.Store(0)
+	db.tracedQueries.Store(0)
+	db.slowQueries.Store(0)
+	db.gateWaits.Store(0)
+	db.gateWaitNanos.Store(0)
+	db.ResetFetchCalls()
+}
+
+// SetSlowQueryHook installs fn to receive the QueryTrace of every
+// non-callback SELECT whose wall time reaches threshold. While a hook is
+// installed every query is traced (candidates recorded, operators
+// instrumented), so install it only when the overhead is acceptable.
+// A nil fn removes the hook.
+func (db *DB) SetSlowQueryHook(threshold time.Duration, fn func(*obs.QueryTrace)) {
+	if fn == nil {
+		db.hookCfg.Store(nil)
+		return
+	}
+	db.hookCfg.Store(&slowHookCfg{threshold: threshold, fn: fn})
+}
+
+// Merge folds another snapshot into this one (benchrunner aggregates
+// per-experiment snapshots this way). Counters add; the workspace gauges
+// take the maximum.
+func (m *Metrics) Merge(o Metrics) {
+	m.Pager.Fetches += o.Pager.Fetches
+	m.Pager.Hits += o.Pager.Hits
+	m.Pager.Misses += o.Pager.Misses
+	m.Pager.Writes += o.Pager.Writes
+	m.Pager.Evictions += o.Pager.Evictions
+	m.Pager.Allocs += o.Pager.Allocs
+	m.Pager.WALRecords += o.Pager.WALRecords
+	m.Pager.WALPages += o.Pager.WALPages
+	m.Pager.WALCommits += o.Pager.WALCommits
+	m.Pager.WALBytes += o.Pager.WALBytes
+	m.Pager.WALSyncs += o.Pager.WALSyncs
+	m.Txn.Begins += o.Txn.Begins
+	m.Txn.Commits += o.Txn.Commits
+	m.Txn.Rollbacks += o.Txn.Rollbacks
+	m.Planner.Merge(o.Planner)
+	m.ODCI.Merge(o.ODCI)
+	m.Engine.Selects += o.Engine.Selects
+	m.Engine.TracedQueries += o.Engine.TracedQueries
+	m.Engine.SlowQueries += o.Engine.SlowQueries
+	m.Engine.GateWaits += o.Engine.GateWaits
+	m.Engine.GateWaitNanos += o.Engine.GateWaitNanos
+	m.Engine.FetchCalls += o.Engine.FetchCalls
+	if o.Workspace.Live > m.Workspace.Live {
+		m.Workspace.Live = o.Workspace.Live
+	}
+	if o.Workspace.HighWater > m.Workspace.HighWater {
+		m.Workspace.HighWater = o.Workspace.HighWater
+	}
+}
+
+// String renders the snapshot as the sectioned report the \stats
+// meta-command prints.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pager:   fetches=%d hits=%d misses=%d (hit rate %.1f%%)\n",
+		m.Pager.Fetches, m.Pager.Hits, m.Pager.Misses, m.Pager.HitRate()*100)
+	fmt.Fprintf(&b, "         writes=%d evictions=%d allocs=%d\n",
+		m.Pager.Writes, m.Pager.Evictions, m.Pager.Allocs)
+	fmt.Fprintf(&b, "wal:     records=%d pages=%d commits=%d bytes=%d syncs=%d\n",
+		m.Pager.WALRecords, m.Pager.WALPages, m.Pager.WALCommits, m.Pager.WALBytes, m.Pager.WALSyncs)
+	fmt.Fprintf(&b, "txn:     begins=%d commits=%d rollbacks=%d\n",
+		m.Txn.Begins, m.Txn.Commits, m.Txn.Rollbacks)
+	fmt.Fprintf(&b, "engine:  selects=%d traced=%d slow=%d fetchCalls=%d\n",
+		m.Engine.Selects, m.Engine.TracedQueries, m.Engine.SlowQueries, m.Engine.FetchCalls)
+	fmt.Fprintf(&b, "         write-gate waits=%d waitTime=%s\n",
+		m.Engine.GateWaits, time.Duration(m.Engine.GateWaitNanos).Round(time.Microsecond))
+	fmt.Fprintf(&b, "planner: plans=%d candidates=%d", m.Planner.Plans, m.Planner.Candidates)
+	if len(m.Planner.ChosenByKind) > 0 {
+		kinds := make([]string, 0, len(m.Planner.ChosenByKind))
+		for k := range m.Planner.ChosenByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString(" chosen:")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, m.Planner.ChosenByKind[k])
+		}
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "workspace: live=%d highWater=%d\n", m.Workspace.Live, m.Workspace.HighWater)
+	if len(m.ODCI.Callbacks) > 0 {
+		b.WriteString("odci callbacks:\n")
+		for _, line := range strings.Split(strings.TrimRight(m.ODCI.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

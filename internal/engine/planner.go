@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/extidx"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -227,7 +228,8 @@ type accessPath struct {
 	desc     string
 	cost     float64
 	estRows  float64
-	consumed int // index into conjuncts consumed by this path, -1 = none
+	sel      float64 // predicate selectivity behind estRows; < 0 unknown
+	consumed int     // index into conjuncts consumed by this path, -1 = none
 	build    func() (exec.Iterator, error)
 }
 
@@ -254,6 +256,7 @@ func (s *Session) fullScanPath(tb *tableBinding) accessPath {
 		desc:     fmt.Sprintf("TABLE ACCESS FULL %s", strings.ToUpper(tb.tbl.Name)),
 		cost:     pages + rows*cpuPerRow,
 		estRows:  rows,
+		sel:      1,
 		consumed: -1,
 		build: func() (exec.Iterator, error) {
 			return exec.NewHeapScan(tb.tbl.Heap)
@@ -355,6 +358,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					desc:     fmt.Sprintf("INDEX %s SCAN %s (%s %s)", ix.Kind, strings.ToUpper(ix.Name), sg.colName, sg.op),
 					cost:     3 + sel*rows*1.2,
 					estRows:  sel * rows,
+					sel:      sel,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildBTreeScan(tb, ix, sg) },
 				})
@@ -368,6 +372,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					desc:     fmt.Sprintf("INDEX HASH LOOKUP %s (%s =)", strings.ToUpper(ix.Name), sg.colName),
 					cost:     1.5 + sel*rows*1.1,
 					estRows:  sel * rows,
+					sel:      sel,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildHashScan(tb, ix, sg) },
 				})
@@ -381,6 +386,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					desc:     fmt.Sprintf("BITMAP INDEX %s (%s =)", strings.ToUpper(ix.Name), sg.colName),
 					cost:     1 + sel*rows*1.05,
 					estRows:  sel * rows,
+					sel:      sel,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildBitmapScan(tb, ix, sg) },
 				})
@@ -554,6 +560,7 @@ func (s *Session) domainPaths(tb *tableBinding, conjuncts []sql.Expr, params []t
 				desc:     fmt.Sprintf("DOMAIN INDEX %s (%s via %s)", strings.ToUpper(ix.Name), pred.opName, ix.IndexType),
 				cost:     cost.Total(),
 				estRows:  sel * rows,
+				sel:      sel,
 				consumed: ci,
 				build: func() (exec.Iterator, error) {
 					return &exec.DomainScan{
@@ -593,6 +600,7 @@ func (s *Session) rowidPaths(tb *tableBinding, conjuncts []sql.Expr, params []ty
 			desc:     fmt.Sprintf("TABLE ACCESS BY ROWID %s", strings.ToUpper(tb.tbl.Name)),
 			cost:     1,
 			estRows:  1,
+			sel:      -1,
 			consumed: ci,
 			build: func() (exec.Iterator, error) {
 				// Tolerate a stale rowid: an equality probe on a row that
@@ -608,6 +616,10 @@ func (s *Session) rowidPaths(tb *tableBinding, conjuncts []sql.Expr, params []ty
 }
 
 // choosePath picks the cheapest path, honoring the forced-path override.
+// Every invocation records the candidate count and winning kind into the
+// database planner stats; when a query trace is active all candidates
+// (with costs and selectivities) are appended to it with the winner
+// marked.
 func (s *Session) choosePath(tb *tableBinding, conjuncts []sql.Expr, params []types.Value) accessPath {
 	full := s.fullScanPath(tb)
 	paths := []accessPath{full}
@@ -615,33 +627,50 @@ func (s *Session) choosePath(tb *tableBinding, conjuncts []sql.Expr, params []ty
 	paths = append(paths, s.builtinIndexPaths(tb, conjuncts, params)...)
 	paths = append(paths, s.domainPaths(tb, conjuncts, params)...)
 
+	chosen := -1
 	switch s.forced {
 	case ForceFullScan:
-		return full
+		chosen = 0
 	case ForceDomainScan:
-		for _, p := range paths {
+		for i, p := range paths {
 			if p.kind == "DOMAIN" {
-				return p
+				chosen = i
+				break
 			}
 		}
 	case ForceIndexScan:
-		best := full
-		for _, p := range paths {
-			if p.kind != "FULL" && p.kind != "DOMAIN" && (best.kind == "FULL" || p.cost < best.cost) {
-				best = p
+		bi := 0
+		for i, p := range paths {
+			if p.kind != "FULL" && p.kind != "DOMAIN" && (paths[bi].kind == "FULL" || p.cost < paths[bi].cost) {
+				bi = i
 			}
 		}
-		if best.kind != "FULL" {
-			return best
+		if paths[bi].kind != "FULL" {
+			chosen = bi
 		}
 	}
-	best := paths[0]
-	for _, p := range paths[1:] {
-		if p.cost < best.cost {
-			best = p
+	if chosen < 0 {
+		chosen = 0
+		for i, p := range paths {
+			if p.cost < paths[chosen].cost {
+				chosen = i
+			}
 		}
 	}
-	return best
+	s.db.planner.RecordPlan(len(paths), paths[chosen].kind)
+	if s.trace != nil {
+		for i, p := range paths {
+			s.trace.Candidates = append(s.trace.Candidates, obs.PlanCandidate{
+				Kind:        p.kind,
+				Desc:        p.desc,
+				Cost:        p.cost,
+				EstRows:     p.estRows,
+				Selectivity: p.sel,
+				Chosen:      i == chosen,
+			})
+		}
+	}
+	return paths[chosen]
 }
 
 // buildTableAccess assembles the iterator for one table: chosen access
@@ -652,6 +681,7 @@ func (s *Session) buildTableAccess(tb *tableBinding, conjuncts []sql.Expr, param
 	if err != nil {
 		return nil, path, err
 	}
+	it = s.instr(it, path.desc, path.estRows)
 	var residual []sql.Expr
 	for i, e := range conjuncts {
 		if i != path.consumed {
@@ -664,6 +694,7 @@ func (s *Session) buildTableAccess(tb *tableBinding, conjuncts []sql.Expr, param
 			return nil, path, errors.Join(err, it.Close())
 		}
 		it = &exec.Filter{Child: it, Pred: pred}
+		it = s.instr(it, fmt.Sprintf("FILTER (%d predicates)", len(residual)), -1)
 	}
 	return it, path, nil
 }
@@ -987,17 +1018,26 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 		} else {
 			descs = append(descs, fmt.Sprintf("NESTED LOOPS (FULL %s)", strings.ToUpper(inner.tbl.Name)))
 			innerFactory = func(exec.Row) (exec.Iterator, error) {
+				// The inner side replans per outer row at execution time;
+				// suppress the trace so each row does not append fresh
+				// operator nodes (the NESTED LOOPS node above accounts for
+				// the whole inner side).
+				saved := s.trace
+				s.trace = nil
 				inIt, _, err := s.buildTableAccess(inner, innerConj, params)
+				s.trace = saved
 				return inIt, err
 			}
 		}
 		it = &exec.NestedLoopJoin{Outer: it, Inner: innerFactory}
+		it = s.instr(it, descs[len(descs)-1], -1)
 		if len(residualJoin) > 0 {
 			pred, err := s.compileConjuncts(residualJoin, joined, params)
 			if err != nil {
 				return nil, nil, nil, errors.Join(err, it.Close())
 			}
 			it = &exec.Filter{Child: it, Pred: pred}
+			it = s.instr(it, fmt.Sprintf("FILTER (%d join predicates)", len(residualJoin)), -1)
 		}
 		curSchema = joined
 	}

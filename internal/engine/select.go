@@ -5,21 +5,39 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
 
 // runSelect plans and executes a SELECT, returning the materialized
-// result set.
+// result set. The untraced path does no timing and allocates no trace
+// structures — its only observability cost is a few atomic counter
+// increments. A trace rides along when one is staged (EXPLAIN ANALYZE,
+// QueryTraced) or when a slow-query hook is installed.
 func (s *Session) runSelect(sel *sql.Select, params []types.Value) (*ResultSet, error) {
+	s.db.selects.Inc()
+	tr := s.pendingTrace
+	s.pendingTrace = nil
+	if tr == nil && !s.isCallback && s.db.hookCfg.Load() != nil {
+		tr = obs.NewQueryTrace(sql.Print(sel))
+	}
+	if tr != nil {
+		return s.runSelectTraced(sel, params, tr)
+	}
 	unlock := s.lockSelect(sel)
 	defer unlock()
 	it, schema, _, err := s.planSelect(sel, params)
 	if err != nil {
 		return nil, err
 	}
+	return drainResult(it, schema)
+}
+
+func drainResult(it exec.Iterator, schema *exec.Schema) (*ResultSet, error) {
 	cols := make([]string, len(schema.Cols))
 	for i, c := range schema.Cols {
 		cols[i] = c.Name
@@ -35,11 +53,64 @@ func (s *Session) runSelect(sel *sql.Select, params []types.Value) (*ResultSet, 
 	return &ResultSet{Columns: cols, Rows: out}, nil
 }
 
+// runSelectTraced executes a SELECT with tr active: the planner records
+// candidate paths into it and wraps operators in instrumented nodes, and
+// the pager/WAL counter delta across the query is attributed to it. When
+// a slow-query hook is installed and the query meets its threshold, the
+// finished trace is handed to the hook (callback sessions never trigger
+// it — their queries already ride inside a traced outer query).
+func (s *Session) runSelectTraced(sel *sql.Select, params []types.Value, tr *obs.QueryTrace) (*ResultSet, error) {
+	s.db.tracedQueries.Inc()
+	before := s.db.PagerStats()
+	start := time.Now()
+	s.trace = tr
+	defer func() { s.trace = nil }()
+
+	rs, err := func() (*ResultSet, error) {
+		unlock := s.lockSelect(sel)
+		defer unlock()
+		it, schema, _, err := s.planSelect(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		return drainResult(it, schema)
+	}()
+
+	tr.Elapsed = time.Since(start)
+	after := s.db.PagerStats()
+	tr.Pager = obs.ResourceDelta{
+		PagerFetches: after.Fetches - before.Fetches,
+		PagerHits:    after.Hits - before.Hits,
+		PagerMisses:  after.Misses - before.Misses,
+		PagerWrites:  after.Writes - before.Writes,
+		WALRecords:   after.WALRecords - before.WALRecords,
+		WALBytes:     after.WALBytes - before.WALBytes,
+		WALSyncs:     after.WALSyncs - before.WALSyncs,
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	} else {
+		tr.Rows = int64(len(rs.Rows))
+	}
+	if cfg := s.db.hookCfg.Load(); cfg != nil && !s.isCallback && tr.Elapsed >= cfg.threshold {
+		s.db.slowQueries.Inc()
+		cfg.fn(tr)
+	}
+	return rs, err
+}
+
 // Explain returns the access-path decisions for a query as one-column
-// rows, without returning query results.
+// rows, without returning query results: the plan description lines
+// followed by every candidate access path the optimizer costed, the
+// winner marked with '*'.
 func (s *Session) Explain(sel *sql.Select, params []types.Value) (*ResultSet, error) {
 	unlock := s.lockSelect(sel)
 	defer unlock()
+	// Attach a throwaway trace so choosePath records its candidates; the
+	// plan is built but never executed.
+	tr := obs.NewQueryTrace("")
+	s.trace = tr
+	defer func() { s.trace = nil }()
 	it, _, descs, err := s.planSelect(sel, params)
 	if err != nil {
 		return nil, err
@@ -50,6 +121,28 @@ func (s *Session) Explain(sel *sql.Select, params []types.Value) (*ResultSet, er
 	rs := &ResultSet{Columns: []string{"PLAN"}}
 	for _, d := range descs {
 		rs.Rows = append(rs.Rows, []types.Value{types.Str(d)})
+	}
+	if len(tr.Candidates) > 0 {
+		rs.Rows = append(rs.Rows, []types.Value{types.Str("CANDIDATE ACCESS PATHS:")})
+		for _, line := range obs.RenderCandidates(tr.Candidates) {
+			rs.Rows = append(rs.Rows, []types.Value{types.Str(line)})
+		}
+	}
+	return rs, nil
+}
+
+// ExplainAnalyze executes the query with a trace attached and renders
+// the operator tree with estimated vs actual rows and per-operator wall
+// time, the candidate access paths, and the query's pager/WAL footprint.
+func (s *Session) ExplainAnalyze(sel *sql.Select, params []types.Value) (*ResultSet, error) {
+	tr := obs.NewQueryTrace(sql.Print(sel))
+	s.pendingTrace = tr
+	if _, err := s.runSelect(sel, params); err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: []string{"EXPLAIN ANALYZE"}}
+	for _, line := range tr.Render() {
+		rs.Rows = append(rs.Rows, []types.Value{types.Str(line)})
 	}
 	return rs, nil
 }
@@ -117,6 +210,7 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 			return nil, nil, nil, errors.Join(err, it.Close())
 		}
 		descs = append(descs, "HASH GROUP BY")
+		it = s.instr(it, "HASH GROUP BY", -1)
 	}
 
 	// Projection list.
@@ -210,6 +304,7 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 		}
 		it = &exec.Sort{Child: it, Keys: keys}
 		descs = append(descs, "SORT ORDER BY")
+		it = s.instr(it, "SORT ORDER BY", -1)
 	}
 	if sel.Limit >= 0 {
 		it = &exec.Limit{Child: it, N: sel.Limit}
@@ -219,7 +314,17 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 		it = &exec.Project{Child: it, Exprs: identityExprs(visible)}
 		outSchema = &exec.Schema{Cols: outSchema.Cols[:visible]}
 	}
+	it = s.instr(it, "SELECT STATEMENT", -1)
 	return it, outSchema, descs, nil
+}
+
+// instr wraps it in an instrumented node attached to the active trace;
+// with no trace it returns it unchanged (the untraced fast path).
+func (s *Session) instr(it exec.Iterator, desc string, estRows float64) exec.Iterator {
+	if s.trace == nil {
+		return it
+	}
+	return &exec.Instrument{Child: it, Node: s.trace.Node(desc, estRows)}
 }
 
 func identityExprs(n int) []exec.Compiled {

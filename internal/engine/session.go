@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/extidx"
 	"repro/internal/loblib"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -47,6 +49,14 @@ type Session struct {
 	// forced overrides the optimizer's access-path choice (test/bench
 	// hook, see SetForcedPath).
 	forced string
+
+	// trace, while non-nil, is the active query trace: the planner
+	// appends costed candidates to it and wraps operators in
+	// exec.Instrument nodes. pendingTrace stages a trace for the next
+	// runSelect (EXPLAIN ANALYZE and QueryTraced set it). Both are nil on
+	// the untraced fast path.
+	trace        *obs.QueryTrace
+	pendingTrace *obs.QueryTrace
 }
 
 // NewSession opens a session on the database.
@@ -112,7 +122,10 @@ func (s *Session) beginWrite() func() {
 		db.acquireWriteGate(s.tx)
 		return func() {}
 	}
+	waitStart := time.Now()
 	db.writeGate.Lock()
+	db.gateWaits.Inc()
+	db.gateWaitNanos.Add(time.Since(waitStart).Nanoseconds())
 	//vetx:ignore lockbalance -- gate ownership transfers to the returned release closure; every caller defers it
 	return func() { db.writeGate.Unlock() }
 }
@@ -188,6 +201,10 @@ func (s *Session) Exec(text string, params ...types.Value) (Result, error) {
 		}
 		return Result{RowsAffected: int64(len(rs.Rows))}, nil
 	case *sql.ExplainStmt:
+		if x.Analyze {
+			_, err := s.ExplainAnalyze(x.Query, params)
+			return Result{}, err
+		}
 		_, err := s.Explain(x.Query, params)
 		return Result{}, err
 	case *sql.Insert:
@@ -217,10 +234,31 @@ func (s *Session) Query(text string, params ...types.Value) (*ResultSet, error) 
 	case *sql.Select:
 		return s.runSelect(x, params)
 	case *sql.ExplainStmt:
+		if x.Analyze {
+			return s.ExplainAnalyze(x.Query, params)
+		}
 		return s.Explain(x.Query, params)
 	default:
 		return nil, fmt.Errorf("engine: Query requires SELECT or EXPLAIN, got %T", st)
 	}
+}
+
+// QueryTraced runs a SELECT with a query trace attached and returns the
+// result set together with the trace (candidates, per-operator actuals,
+// pager delta). It is the structured-API counterpart of EXPLAIN ANALYZE.
+func (s *Session) QueryTraced(text string, params ...types.Value) (*ResultSet, *obs.QueryTrace, error) {
+	st, err := s.db.parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: QueryTraced requires SELECT, got %T", st)
+	}
+	tr := obs.NewQueryTrace(text)
+	s.pendingTrace = tr
+	rs, err := s.runSelect(sel, params)
+	return rs, tr, err
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// Instrument wraps an iterator and accumulates actual row count and
+// wall time into an obs.OpNode for EXPLAIN ANALYZE. Time is measured
+// around Next, so it is inclusive of the operator's children (the pull
+// model drives the whole subtree from the root's Next). The wrapper is
+// used only when a query trace is active, so the untraced path pays
+// nothing.
+type Instrument struct {
+	Child Iterator
+	Node  *obs.OpNode
+}
+
+// Next pulls one row from the child, timing the call and counting rows.
+func (it *Instrument) Next() ([]types.Value, error) {
+	start := time.Now()
+	row, err := it.Child.Next()
+	it.Node.Nanos += time.Since(start).Nanoseconds()
+	if row != nil && err == nil {
+		it.Node.Rows++
+	}
+	return row, err
+}
+
+// Close closes the child.
+func (it *Instrument) Close() error { return it.Child.Close() }

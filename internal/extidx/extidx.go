@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/loblib"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -298,6 +299,9 @@ type Registry struct {
 	methods map[string]IndexMethods
 	stats   map[string]StatsMethods
 	funcs   map[string]Function
+	// obs, when set, makes Methods and Stats hand out instrumented
+	// wrappers that time every ODCI callback (see instrument.go).
+	obs *obs.ODCIStats
 }
 
 // Function is a registered SQL-callable function: the functional
@@ -351,11 +355,24 @@ func (r *Registry) RegisterFunction(name string, f Function) error {
 	return nil
 }
 
+// SetObserver installs the ODCI-boundary stats aggregate. Once set,
+// Methods and Stats return instrumented wrappers that count and time
+// every callback. Wrappers are stateless, so wrapping per-resolve is
+// cheap and race-free.
+func (r *Registry) SetObserver(o *obs.ODCIStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
+}
+
 // Methods resolves an IndexMethods implementation by name.
 func (r *Registry) Methods(name string) (IndexMethods, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	m, ok := r.methods[strings.ToUpper(name)]
+	if ok && r.obs != nil {
+		m = instrumentMethods(m, r.obs)
+	}
 	return m, ok
 }
 
@@ -364,6 +381,9 @@ func (r *Registry) Stats(name string) (StatsMethods, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s, ok := r.stats[strings.ToUpper(name)]
+	if ok && r.obs != nil {
+		s = instrumentStats(s, r.obs)
+	}
 	return s, ok
 }
 
@@ -445,4 +465,12 @@ func (w *Workspace) Live() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.entries)
+}
+
+// Stats reports the current live entry count and the high-water mark
+// under one lock acquisition (the metrics snapshot uses it).
+func (w *Workspace) Stats() (live, high int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries), w.HighWater
 }

@@ -1,0 +1,150 @@
+package extidx
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// This file holds the instrumented wrappers the Registry hands out when
+// an ODCI-boundary observer is installed (Registry.SetObserver). Each
+// wrapper times one callback invocation and records it into the shared
+// obs.ODCIStats aggregate; the wrappers themselves carry no state, so a
+// fresh wrapper per resolve is safe and cheap.
+
+// instrumentedMethods times every IndexMethods callback.
+type instrumentedMethods struct {
+	inner IndexMethods
+	obs   *obs.ODCIStats
+}
+
+func instrumentMethods(m IndexMethods, o *obs.ODCIStats) IndexMethods {
+	return instrumentedMethods{inner: m, obs: o}
+}
+
+func (im instrumentedMethods) Create(s Server, info IndexInfo) error {
+	start := time.Now()
+	err := im.inner.Create(s, info)
+	im.obs.Record(obs.CbCreate, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Alter(s Server, info IndexInfo, newParams string) error {
+	start := time.Now()
+	err := im.inner.Alter(s, info, newParams)
+	im.obs.Record(obs.CbAlter, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Truncate(s Server, info IndexInfo) error {
+	start := time.Now()
+	err := im.inner.Truncate(s, info)
+	im.obs.Record(obs.CbTruncate, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Drop(s Server, info IndexInfo) error {
+	start := time.Now()
+	err := im.inner.Drop(s, info)
+	im.obs.Record(obs.CbDrop, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Insert(s Server, info IndexInfo, rid int64, newVal types.Value) error {
+	start := time.Now()
+	err := im.inner.Insert(s, info, rid, newVal)
+	im.obs.Record(obs.CbInsert, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Update(s Server, info IndexInfo, rid int64, oldVal, newVal types.Value) error {
+	start := time.Now()
+	err := im.inner.Update(s, info, rid, oldVal, newVal)
+	im.obs.Record(obs.CbUpdate, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Delete(s Server, info IndexInfo, rid int64, oldVal types.Value) error {
+	start := time.Now()
+	err := im.inner.Delete(s, info, rid, oldVal)
+	im.obs.Record(obs.CbDelete, time.Since(start))
+	return err
+}
+
+func (im instrumentedMethods) Start(s Server, info IndexInfo, call OperatorCall) (ScanState, error) {
+	start := time.Now()
+	st, err := im.inner.Start(s, info, call)
+	im.obs.Record(obs.CbStart, time.Since(start))
+	if err == nil {
+		switch st.(type) {
+		case StateHandle, *StateHandle:
+			im.obs.RecordScanTransport(true)
+		default:
+			im.obs.RecordScanTransport(false)
+		}
+	}
+	return st, err
+}
+
+func (im instrumentedMethods) Fetch(s Server, state ScanState, maxRows int) (FetchResult, ScanState, error) {
+	start := time.Now()
+	res, next, err := im.inner.Fetch(s, state, maxRows)
+	im.obs.Record(obs.CbFetch, time.Since(start))
+	if err == nil {
+		im.obs.ObserveFetchBatch(len(res.RIDs))
+	}
+	return res, next, err
+}
+
+func (im instrumentedMethods) Close(s Server, state ScanState) error {
+	start := time.Now()
+	err := im.inner.Close(s, state)
+	im.obs.Record(obs.CbClose, time.Since(start))
+	return err
+}
+
+// instrumentedStats times the optimizer-extension callbacks.
+type instrumentedStats struct {
+	inner StatsMethods
+	obs   *obs.ODCIStats
+}
+
+// instrumentStats wraps sm; if sm also implements StatsCollector the
+// wrapper does too, so the engine's ANALYZE-time type assertion
+// (sm.(StatsCollector)) still finds Collect.
+func instrumentStats(sm StatsMethods, o *obs.ODCIStats) StatsMethods {
+	base := instrumentedStats{inner: sm, obs: o}
+	if c, ok := sm.(StatsCollector); ok {
+		return instrumentedStatsCollector{instrumentedStats: base, collector: c}
+	}
+	return base
+}
+
+func (is instrumentedStats) Selectivity(s Server, info IndexInfo, call OperatorCall) (float64, error) {
+	start := time.Now()
+	sel, err := is.inner.Selectivity(s, info, call)
+	is.obs.Record(obs.CbSelectivity, time.Since(start))
+	return sel, err
+}
+
+func (is instrumentedStats) IndexCost(s Server, info IndexInfo, call OperatorCall, selectivity float64) (Cost, error) {
+	start := time.Now()
+	cost, err := is.inner.IndexCost(s, info, call, selectivity)
+	is.obs.Record(obs.CbIndexCost, time.Since(start))
+	return cost, err
+}
+
+// instrumentedStatsCollector additionally forwards (and times) Collect
+// for StatsMethods that implement the optional StatsCollector.
+type instrumentedStatsCollector struct {
+	instrumentedStats
+	collector StatsCollector
+}
+
+func (ic instrumentedStatsCollector) Collect(s Server, info IndexInfo) error {
+	start := time.Now()
+	err := ic.collector.Collect(s, info)
+	ic.obs.Record(obs.CbCollect, time.Since(start))
+	return err
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	c.Store(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("after Store: Load = %d, want 7", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {1 << 22, 22}, {1<<40 + 1, histBuckets - 1},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		s := h.Snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("Observe(%d): %d populated buckets", c.v, len(s.Buckets))
+		}
+		if want := BucketUpperBound(c.want); s.Buckets[0].UpperBound != want {
+			t.Errorf("Observe(%d) landed in bucket with ub=%d, want ub=%d",
+				c.v, s.Buckets[0].UpperBound, want)
+		}
+	}
+}
+
+func TestHistogramSnapshotAndMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 16 {
+		t.Fatalf("Count=%d Sum=%d, want 4/16", s.Count, s.Sum)
+	}
+	if got := s.Mean(); got != 4 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty Mean != 0")
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(1)
+	b.Observe(5)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.Sum != 107 {
+		t.Fatalf("merged Count=%d Sum=%d, want 4/107", sa.Count, sa.Sum)
+	}
+	// Bucket for v=1 must have merged to count 2.
+	for _, bk := range sa.Buckets {
+		if bk.UpperBound == 1 && bk.Count != 2 {
+			t.Fatalf("ub=1 bucket count = %d, want 2", bk.Count)
+		}
+	}
+}
+
+func TestPlannerStats(t *testing.T) {
+	var p PlannerStats
+	p.RecordPlan(3, "FULL")
+	p.RecordPlan(2, "DOMAIN")
+	p.RecordPlan(4, "DOMAIN")
+	s := p.Snapshot()
+	if s.Plans != 3 || s.Candidates != 9 {
+		t.Fatalf("Plans=%d Candidates=%d, want 3/9", s.Plans, s.Candidates)
+	}
+	if s.ChosenByKind["DOMAIN"] != 2 || s.ChosenByKind["FULL"] != 1 {
+		t.Fatalf("ChosenByKind = %v", s.ChosenByKind)
+	}
+	var o PlannerSnapshot
+	o.Merge(s)
+	o.Merge(s)
+	if o.Plans != 6 || o.ChosenByKind["DOMAIN"] != 4 {
+		t.Fatalf("after double merge: %+v", o)
+	}
+	p.Reset()
+	if s := p.Snapshot(); s.Plans != 0 || len(s.ChosenByKind) != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+}
+
+func TestODCIStats(t *testing.T) {
+	var o ODCIStats
+	o.Record(CbFetch, 2*time.Microsecond)
+	o.Record(CbFetch, time.Microsecond)
+	o.Record(CbSelectivity, time.Microsecond)
+	o.Record(Callback(-1), time.Second) // out of range: ignored
+	o.ObserveFetchBatch(10)
+	o.RecordScanTransport(true)
+	o.RecordScanTransport(false)
+	o.RecordScanTransport(false)
+
+	if got := o.Calls(CbFetch); got != 2 {
+		t.Fatalf("Calls(CbFetch) = %d, want 2", got)
+	}
+	s := o.Snapshot()
+	fetch := s.Callbacks["ODCIIndexFetch"]
+	if fetch.Calls != 2 || fetch.Nanos != 3000 {
+		t.Fatalf("fetch stats = %+v", fetch)
+	}
+	if _, present := s.Callbacks["ODCIIndexCreate"]; present {
+		t.Fatal("never-invoked callback present in snapshot")
+	}
+	if s.StateHandleScans != 1 || s.StateValueScans != 2 {
+		t.Fatalf("transports = handle %d / value %d", s.StateHandleScans, s.StateValueScans)
+	}
+	if s.FetchBatch.Count != 1 || s.FetchBatch.Sum != 10 {
+		t.Fatalf("fetch batch = %+v", s.FetchBatch)
+	}
+
+	var m ODCISnapshot
+	m.Merge(s)
+	m.Merge(s)
+	if m.Callbacks["ODCIIndexFetch"].Calls != 4 || m.StateValueScans != 4 {
+		t.Fatalf("after double merge: %+v", m)
+	}
+	if out := m.String(); !strings.Contains(out, "ODCIIndexFetch") {
+		t.Fatalf("String() = %q", out)
+	}
+
+	o.Reset()
+	if s := o.Snapshot(); len(s.Callbacks) != 0 || s.StateValueScans != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+}
+
+func TestCallbackStringNames(t *testing.T) {
+	want := map[Callback]string{
+		CbCreate:      "ODCIIndexCreate",
+		CbFetch:       "ODCIIndexFetch",
+		CbSelectivity: "ODCIStatsSelectivity",
+		CbCollect:     "ODCIStatsCollect",
+	}
+	for cb, name := range want {
+		if cb.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(cb), cb.String(), name)
+		}
+	}
+	if s := numCallbacks.String(); !strings.Contains(s, "Callback(") {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+func TestQueryTraceRender(t *testing.T) {
+	tr := NewQueryTrace("SELECT 1")
+	scan := tr.Node("TABLE ACCESS FULL T", 100)
+	scan.Rows = 42
+	scan.Nanos = int64(3 * time.Millisecond)
+	root := tr.Node("SELECT STATEMENT", -1)
+	root.Rows = 42
+	tr.Rows = 42
+	tr.Elapsed = 5 * time.Millisecond
+	tr.Candidates = []PlanCandidate{
+		{Kind: "FULL", Desc: "TABLE ACCESS FULL T", Cost: 10, EstRows: 100, Selectivity: 1, Chosen: false},
+		{Kind: "DOMAIN", Desc: "DOMAIN INDEX IDX", Cost: 2, EstRows: 4, Selectivity: 0.04, Chosen: true},
+	}
+
+	lines := tr.Render()
+	out := strings.Join(lines, "\n")
+	// Root first (top-down), child indented underneath.
+	if !strings.HasPrefix(lines[0], "SELECT STATEMENT") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  TABLE ACCESS FULL T (est=100.0 rows=42") {
+		t.Fatalf("second line = %q", lines[1])
+	}
+	for _, want := range []string{
+		"CANDIDATE ACCESS PATHS:",
+		"* DOMAIN INDEX IDX cost=2.00 estRows=4.0 sel=0.0400",
+		"rows returned: 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	// The root has no estimate: no "est=" on its line.
+	if strings.Contains(lines[0], "est=") {
+		t.Errorf("root line carries an estimate: %q", lines[0])
+	}
+
+	if c, ok := tr.ChosenCandidate(); !ok || c.Kind != "DOMAIN" {
+		t.Fatalf("ChosenCandidate = %+v, %v", c, ok)
+	}
+
+	tr.Err = "boom"
+	if out := strings.Join(tr.Render(), "\n"); !strings.Contains(out, "error: boom") {
+		t.Fatalf("error render:\n%s", out)
+	}
+}

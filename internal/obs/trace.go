@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// QueryTrace is the per-query trace record behind EXPLAIN ANALYZE and
+// the slow-query hook. It is written by the single session goroutine
+// executing the query, so its fields are plain (no synchronization);
+// once the query finishes the trace is inert and safe to hand off.
+type QueryTrace struct {
+	// SQL is the statement text (reconstructed from the AST when the
+	// original text is unavailable).
+	SQL string
+	// Elapsed is the wall time from plan start to the last row drained.
+	Elapsed time.Duration
+	// Rows is the number of rows the query returned.
+	Rows int64
+	// Err is the execution error text, empty on success.
+	Err string
+	// Candidates are all access paths the optimizer costed while
+	// planning, in consideration order, with the winner marked.
+	Candidates []PlanCandidate
+	// Ops are the instrumented operators in bottom-up plan order (the
+	// first entry is the table access, the last the root). Render walks
+	// them top-down.
+	Ops []*OpNode
+	// Pager is the approximate buffer-pool/WAL delta attributable to the
+	// query (snapshot difference; concurrent sessions can bleed in).
+	Pager ResourceDelta
+}
+
+// NewQueryTrace returns an empty trace for the given statement text.
+func NewQueryTrace(sqlText string) *QueryTrace {
+	return &QueryTrace{SQL: sqlText}
+}
+
+// PlanCandidate is one access path the optimizer costed.
+type PlanCandidate struct {
+	// Kind is the path kind (FULL, ROWID, BTREE, HASH, BITMAP, DOMAIN).
+	Kind string
+	// Desc is the EXPLAIN description line for the path.
+	Desc string
+	// Cost is the total optimizer cost (I/O + weighted CPU).
+	Cost float64
+	// EstRows is the estimated output cardinality.
+	EstRows float64
+	// Selectivity is the predicate selectivity behind EstRows — for
+	// DOMAIN paths this is the ODCIStatsSelectivity result. Negative
+	// when unknown.
+	Selectivity float64
+	// Chosen marks the winning path.
+	Chosen bool
+}
+
+// OpNode is one instrumented operator: its plan description, the
+// planner's row estimate (negative when the operator has none), and the
+// measured actual rows and wall time. Time is inclusive of children
+// (it is accumulated around Next calls, which pull through the subtree).
+type OpNode struct {
+	Desc    string
+	EstRows float64 // < 0: no estimate for this operator
+	Rows    int64
+	Nanos   int64
+}
+
+// Elapsed returns the operator's accumulated wall time.
+func (n *OpNode) Elapsed() time.Duration { return time.Duration(n.Nanos) }
+
+// ResourceDelta is the pager/WAL counter difference across a query.
+// Field meanings match storage.Stats; obs keeps its own plain struct so
+// it depends on nothing.
+type ResourceDelta struct {
+	PagerFetches int64
+	PagerHits    int64
+	PagerMisses  int64
+	PagerWrites  int64
+	WALRecords   int64
+	WALBytes     int64
+	WALSyncs     int64
+}
+
+// Node appends a new operator node and returns it, for the planner to
+// hand to an exec.Instrument wrapper.
+func (t *QueryTrace) Node(desc string, estRows float64) *OpNode {
+	n := &OpNode{Desc: desc, EstRows: estRows}
+	t.Ops = append(t.Ops, n)
+	return n
+}
+
+// ChosenCandidate returns the winning plan candidate, if recorded.
+func (t *QueryTrace) ChosenCandidate() (PlanCandidate, bool) {
+	for _, c := range t.Candidates {
+		if c.Chosen {
+			return c, true
+		}
+	}
+	return PlanCandidate{}, false
+}
+
+// Render formats the trace as EXPLAIN ANALYZE output lines: the operator
+// tree top-down with estimated vs actual rows and per-operator time,
+// then the candidate access paths, then query totals. The format is
+// documented in DESIGN.md §8.
+func (t *QueryTrace) Render() []string {
+	var lines []string
+	for i := len(t.Ops) - 1; i >= 0; i-- {
+		n := t.Ops[i]
+		indent := strings.Repeat("  ", len(t.Ops)-1-i)
+		est := ""
+		if n.EstRows >= 0 {
+			est = fmt.Sprintf("est=%.1f ", n.EstRows)
+		}
+		lines = append(lines, fmt.Sprintf("%s%s (%srows=%d time=%s)",
+			indent, n.Desc, est, n.Rows, n.Elapsed().Round(time.Microsecond)))
+	}
+	if len(t.Candidates) > 0 {
+		lines = append(lines, "CANDIDATE ACCESS PATHS:")
+		lines = append(lines, RenderCandidates(t.Candidates)...)
+	}
+	status := fmt.Sprintf("rows returned: %d; elapsed: %s", t.Rows, t.Elapsed.Round(time.Microsecond))
+	if t.Err != "" {
+		status = fmt.Sprintf("error: %s; elapsed: %s", t.Err, t.Elapsed.Round(time.Microsecond))
+	}
+	lines = append(lines, status)
+	lines = append(lines, fmt.Sprintf("pager: fetches=%d hits=%d misses=%d writes=%d; wal: records=%d bytes=%d syncs=%d",
+		t.Pager.PagerFetches, t.Pager.PagerHits, t.Pager.PagerMisses, t.Pager.PagerWrites,
+		t.Pager.WALRecords, t.Pager.WALBytes, t.Pager.WALSyncs))
+	return lines
+}
+
+// RenderCandidates formats costed access paths one per line, the winner
+// marked with '*'. Shared by EXPLAIN (candidate listing) and EXPLAIN
+// ANALYZE.
+func RenderCandidates(cands []PlanCandidate) []string {
+	var lines []string
+	for _, c := range cands {
+		marker := " "
+		if c.Chosen {
+			marker = "*"
+		}
+		sel := ""
+		if c.Selectivity >= 0 {
+			sel = fmt.Sprintf(" sel=%.4f", c.Selectivity)
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s cost=%.2f estRows=%.1f%s", marker, c.Desc, c.Cost, c.EstRows, sel))
+	}
+	return lines
+}

@@ -245,9 +245,14 @@ type (
 	RollbackStmt struct{}
 )
 
-// ExplainStmt is EXPLAIN PLAN FOR <select>; the engine returns the chosen
-// access path as text rows.
-type ExplainStmt struct{ Query *Select }
+// ExplainStmt is EXPLAIN PLAN FOR <select> (plan and candidate access
+// paths as text rows) or, with Analyze set, EXPLAIN ANALYZE <select>
+// (execute the query and report estimated vs actual rows and time per
+// operator).
+type ExplainStmt struct {
+	Query   *Select
+	Analyze bool
+}
 
 // AnalyzeTable is ANALYZE TABLE name: refresh optimizer statistics for
 // the table, its built-in indexes, and (via StatsCollector) its domain

@@ -51,6 +51,7 @@ var parseSeeds = []string{
 	`COMMIT`,
 	`ROLLBACK`,
 	`EXPLAIN PLAN FOR SELECT name FROM Employees WHERE Contains(resume, 'UNIX') > 0`,
+	`EXPLAIN ANALYZE SELECT name FROM Employees WHERE Contains(resume, 'UNIX') > 0`,
 	// Queries.
 	`SELECT * FROM Employees`,
 	`SELECT e.* FROM Employees e`,

@@ -154,13 +154,16 @@ func (p *parser) statement() (Statement, error) {
 		return &AnalyzeTable{Name: name}, nil
 	case p.at(TokKeyword, "EXPLAIN"):
 		p.next()
-		p.accept(TokKeyword, "PLAN")
-		p.accept(TokKeyword, "FOR")
+		analyze := p.accept(TokKeyword, "ANALYZE")
+		if !analyze {
+			p.accept(TokKeyword, "PLAN")
+			p.accept(TokKeyword, "FOR")
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel.(*Select)}, nil
+		return &ExplainStmt{Query: sel.(*Select), Analyze: analyze}, nil
 	default:
 		return nil, p.errf("unsupported statement starting with %q", p.cur().Text)
 	}

@@ -207,8 +207,16 @@ func TestParseMiscStatements(t *testing.T) {
 		t.Error("REBUILD")
 	}
 	ex := mustParse(t, "EXPLAIN PLAN FOR SELECT * FROM t WHERE a = 1").(*ExplainStmt)
-	if ex.Query == nil {
+	if ex.Query == nil || ex.Analyze {
 		t.Error("EXPLAIN")
+	}
+	ea := mustParse(t, "EXPLAIN ANALYZE SELECT * FROM t WHERE a = 1").(*ExplainStmt)
+	if ea.Query == nil || !ea.Analyze {
+		t.Error("EXPLAIN ANALYZE")
+	}
+	// Bare EXPLAIN (no PLAN FOR / ANALYZE) is accepted, not analyzing.
+	if st := mustParse(t, "EXPLAIN SELECT * FROM t").(*ExplainStmt); st.Analyze {
+		t.Error("bare EXPLAIN must not analyze")
 	}
 }
 

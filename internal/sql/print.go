@@ -362,7 +362,11 @@ func printStmt(b *strings.Builder, st Statement) {
 		b.WriteString("ANALYZE TABLE ")
 		printIdent(b, s.Name)
 	case *ExplainStmt:
-		b.WriteString("EXPLAIN PLAN FOR ")
+		if s.Analyze {
+			b.WriteString("EXPLAIN ANALYZE ")
+		} else {
+			b.WriteString("EXPLAIN PLAN FOR ")
+		}
 		printSelect(b, s.Query)
 	default:
 		b.WriteString("/*unknown statement*/")

@@ -16,6 +16,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // PageSize is the fixed size of every page in bytes.
@@ -177,7 +179,11 @@ func (fb *FileBackend) Sync() error { return fb.f.Sync() }
 // Close implements Backend.
 func (fb *FileBackend) Close() error { return fb.f.Close() }
 
-// Stats counts logical and physical page traffic through the pager.
+// Stats counts logical and physical page traffic through the pager and,
+// since the WAL became part of the durability path, write-ahead-log
+// traffic as well: one snapshot covers every byte the storage layer
+// moves. Pager snapshots fill the page fields; WAL.AddStats folds the
+// log fields in (the engine's PagerStats does both).
 type Stats struct {
 	Fetches   int64 // logical page requests
 	Hits      int64 // served from the buffer pool
@@ -185,6 +191,20 @@ type Stats struct {
 	Writes    int64 // dirty pages written back to the backend
 	Evictions int64 // pages evicted to make room
 	Allocs    int64 // new pages allocated
+
+	WALRecords int64 // redo records appended (pages + commits)
+	WALPages   int64 // page-image records appended
+	WALCommits int64 // commit records appended
+	WALBytes   int64 // bytes appended to the log
+	WALSyncs   int64 // log fsyncs
+}
+
+// HitRate returns the buffer-pool hit fraction (0 with no fetches).
+func (s Stats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
 }
 
 // Page is a pinned buffer-pool frame. Data is the full page image; callers
@@ -210,7 +230,7 @@ type Pager struct {
 	capacity int
 	frames   map[PageID]*Page
 	lru      *list.List // of PageID, front = most recent, only unpinned pages
-	stats    Stats
+	stats    pagerCounters
 
 	freeList []PageID // pages released by dropped objects, reusable
 
@@ -235,18 +255,54 @@ func NewPager(b Backend, capacity int) *Pager {
 	}
 }
 
-// Stats returns a snapshot of the pager's I/O counters.
+// pagerCounters are the pager's live I/O counters. Each field is an
+// atomic obs.Counter so Stats/ResetStats never race with increments even
+// if a future code path bumps one outside p.mu; the increments themselves
+// all run under p.mu, which is what makes the locked snapshot in Stats a
+// consistent cut across fields.
+type pagerCounters struct {
+	fetches   obs.Counter
+	hits      obs.Counter
+	misses    obs.Counter
+	writes    obs.Counter
+	evictions obs.Counter
+	allocs    obs.Counter
+}
+
+// Stats returns a snapshot of the pager's I/O counters. The snapshot is
+// taken under the pager mutex — the same lock every increment runs under
+// — so the fields form a consistent cut: the invariants build verifies
+// fetches == hits + misses on every snapshot.
 func (p *Pager) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := Stats{
+		Fetches:   p.stats.fetches.Load(),
+		Hits:      p.stats.hits.Load(),
+		Misses:    p.stats.misses.Load(),
+		Writes:    p.stats.writes.Load(),
+		Evictions: p.stats.evictions.Load(),
+		Allocs:    p.stats.allocs.Load(),
+	}
+	if invariantsEnabled && s.Fetches != s.Hits+s.Misses {
+		panic(fmt.Sprintf("storage: inconsistent pager stats snapshot: fetches=%d hits=%d misses=%d", s.Fetches, s.Hits, s.Misses))
+	}
+	return s
 }
 
 // ResetStats zeroes the I/O counters (used between benchmark phases).
+// Like Stats, it runs under the pager mutex so a reset cannot interleave
+// with a statement's increments and tear the counters relative to each
+// other.
 func (p *Pager) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.stats.fetches.Store(0)
+	p.stats.hits.Store(0)
+	p.stats.misses.Store(0)
+	p.stats.writes.Store(0)
+	p.stats.evictions.Store(0)
+	p.stats.allocs.Store(0)
 }
 
 // Fetch pins the page in the pool, reading it from the backend on a miss.
@@ -254,13 +310,13 @@ func (p *Pager) ResetStats() {
 func (p *Pager) Fetch(id PageID) (*Page, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Fetches++
+	p.stats.fetches.Inc()
 	if pg, ok := p.frames[id]; ok {
-		p.stats.Hits++
+		p.stats.hits.Inc()
 		p.pinLocked(pg)
 		return pg, nil
 	}
-	p.stats.Misses++
+	p.stats.misses.Inc()
 	if err := p.evictIfFullLocked(); err != nil {
 		return nil, err
 	}
@@ -288,7 +344,7 @@ func (p *Pager) NewPage() (*Page, error) {
 			return nil, err
 		}
 	}
-	p.stats.Allocs++
+	p.stats.allocs.Inc()
 	if err := p.evictIfFullLocked(); err != nil {
 		return nil, err
 	}
@@ -390,7 +446,7 @@ func (p *Pager) FlushAll() error {
 		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
 			return err
 		}
-		p.stats.Writes++
+		p.stats.writes.Inc()
 		pg.dirty = false
 		pg.logged = false
 	}
@@ -471,9 +527,9 @@ func (p *Pager) evictIfFullLocked() error {
 		if err := p.backend.WritePage(victim.ID, victim.Data); err != nil {
 			return err
 		}
-		p.stats.Writes++
+		p.stats.writes.Inc()
 	}
 	delete(p.frames, id)
-	p.stats.Evictions++
+	p.stats.evictions.Inc()
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // Write-ahead redo log. The engine's durability story is redo-only,
@@ -178,6 +180,16 @@ type WAL struct {
 	size      int64
 	synced    int64
 	syncedSeq uint64
+
+	// Cumulative log-traffic counters, folded into storage.Stats by
+	// AddStats. Atomic (obs.Counter) because snapshots race with the
+	// append path: appends run under the engine's walMu, but AddStats is
+	// called by any session reading DB.PagerStats or DB.Metrics.
+	recs    obs.Counter
+	pages   obs.Counter
+	commits obs.Counter
+	bytes   obs.Counter
+	syncs   obs.Counter
 }
 
 // NewWAL returns a WAL writer over sink, continuing after the given
@@ -199,7 +211,29 @@ func (w *WAL) append(kind byte, payload []byte) error {
 		return err
 	}
 	w.size += int64(len(rec))
+	w.recs.Inc()
+	w.bytes.Add(int64(len(rec)))
 	return nil
+}
+
+// AddStats folds the WAL's cumulative traffic counters into s, so one
+// storage.Stats snapshot covers page and log I/O together.
+func (w *WAL) AddStats(s *Stats) {
+	s.WALRecords += w.recs.Load()
+	s.WALPages += w.pages.Load()
+	s.WALCommits += w.commits.Load()
+	s.WALBytes += w.bytes.Load()
+	s.WALSyncs += w.syncs.Load()
+}
+
+// ResetStats zeroes the traffic counters (benchmark phases); the log
+// itself is untouched.
+func (w *WAL) ResetStats() {
+	w.recs.Store(0)
+	w.pages.Store(0)
+	w.commits.Store(0)
+	w.bytes.Store(0)
+	w.syncs.Store(0)
 }
 
 // AppendPage logs the full image of one page.
@@ -207,7 +241,11 @@ func (w *WAL) AppendPage(id PageID, data []byte) error {
 	payload := make([]byte, 4+PageSize)
 	binary.BigEndian.PutUint32(payload[0:4], uint32(id))
 	copy(payload[4:], data[:PageSize])
-	return w.append(walRecPage, payload)
+	if err := w.append(walRecPage, payload); err != nil {
+		return err
+	}
+	w.pages.Inc()
+	return nil
 }
 
 // AppendCommit logs a commit record carrying the transaction id and a
@@ -219,7 +257,11 @@ func (w *WAL) AppendCommit(txID int64, snapshot []byte) error {
 	binary.BigEndian.PutUint64(payload[0:8], uint64(txID))
 	binary.BigEndian.PutUint32(payload[8:12], uint32(len(snapshot)))
 	copy(payload[12:], snapshot)
-	return w.append(walRecCommit, payload)
+	if err := w.append(walRecCommit, payload); err != nil {
+		return err
+	}
+	w.commits.Inc()
+	return nil
 }
 
 // Sync makes all appended records durable; a commit is acknowledged only
@@ -230,6 +272,7 @@ func (w *WAL) Sync() error {
 	}
 	w.synced = w.size
 	w.syncedSeq = w.seq
+	w.syncs.Inc()
 	return nil
 }
 

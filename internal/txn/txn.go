@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Undoer reverses one logged change. Implementations exist in the storage
@@ -84,6 +86,36 @@ type Manager struct {
 	onCommit   []func(txID int64)
 	onRollback []func(txID int64)
 	commitSink func(txID int64, forceDurable bool) error
+
+	// Lifecycle counters (atomic: Stats snapshots race with sessions).
+	begins    obs.Counter
+	commits   obs.Counter
+	rollbacks obs.Counter
+}
+
+// Stats is an inert snapshot of transaction lifecycle counts. A commit
+// whose durability sink fails counts as a rollback, not a commit —
+// exactly the acknowledgement the client saw.
+type Stats struct {
+	Begins    int64
+	Commits   int64
+	Rollbacks int64
+}
+
+// Stats returns a snapshot of the lifecycle counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begins:    m.begins.Load(),
+		Commits:   m.commits.Load(),
+		Rollbacks: m.rollbacks.Load(),
+	}
+}
+
+// ResetStats zeroes the lifecycle counters (benchmark phases).
+func (m *Manager) ResetStats() {
+	m.begins.Store(0)
+	m.commits.Store(0)
+	m.rollbacks.Store(0)
 }
 
 // SetCommitSink installs the durability hook run by every Commit before
@@ -112,6 +144,7 @@ func (m *Manager) Begin() *Txn {
 	id := m.nextID
 	m.nextID++
 	m.mu.Unlock()
+	m.begins.Inc()
 	return &Txn{ID: id, mgr: m}
 }
 
@@ -202,6 +235,7 @@ func (t *Txn) Commit() error {
 	}
 	t.state = Committed
 	t.undo = nil
+	t.mgr.commits.Inc()
 	for _, fn := range t.onCommit {
 		fn()
 	}
@@ -219,6 +253,7 @@ func (t *Txn) Rollback() error {
 	}
 	err := t.RollbackTo(0)
 	t.state = RolledBack
+	t.mgr.rollbacks.Inc()
 	for _, fn := range t.onRollback {
 		fn()
 	}

@@ -1,0 +1,131 @@
+package vetx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Obscounter returns the obscounter analyzer: inside the observability
+// package (internal/obs), live aggregate types — structs whose name ends
+// in "Stats" — must keep their numbers in Counter/Histogram fields so
+// every update goes through the atomic helpers and stays race-free. An
+// unexported bare numeric field in such a struct, or a direct
+// assignment/increment of one, bypasses that discipline and silently
+// reintroduces data races under concurrent sessions.
+//
+// Exported plain numeric fields are exempt: by the obs package's own
+// convention they only appear in inert per-item slices of snapshots
+// (e.g. CallbackStats inside ODCISnapshot), which are single-goroutine
+// copies, not live aggregates.
+func Obscounter() *Analyzer {
+	return &Analyzer{
+		Name:      "obscounter",
+		Doc:       "obs live aggregates (*Stats) must count through Counter/Histogram, not bare numeric fields",
+		NeedTypes: true,
+		Run:       runObscounter,
+	}
+}
+
+// obscounterScope reports whether the import path is the obs package (or
+// a sub-package of it).
+func obscounterScope(path string) bool {
+	return strings.Contains(path+"/", "/internal/obs/")
+}
+
+func runObscounter(pkg *Package) []Finding {
+	if !obscounterScope(pkg.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.TypeSpec:
+				out = append(out, obscounterFields(pkg, s)...)
+			case *ast.AssignStmt:
+				if s.Tok == token.DEFINE {
+					return true
+				}
+				for _, lh := range s.Lhs {
+					out = append(out, obscounterWrite(pkg, lh)...)
+				}
+			case *ast.IncDecStmt:
+				out = append(out, obscounterWrite(pkg, s.X)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// obscounterFields flags unexported bare numeric fields declared in a
+// live aggregate struct.
+func obscounterFields(pkg *Package, spec *ast.TypeSpec) []Finding {
+	if !strings.HasSuffix(spec.Name.Name, "Stats") {
+		return nil
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.IsExported() {
+				continue
+			}
+			obj, found := pkg.Info.Defs[name]
+			if !found || !isBareNumeric(obj.Type()) {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "obscounter",
+				Pos:      pkg.Fset.Position(name.Pos()),
+				Message: fmt.Sprintf("live aggregate %s holds bare numeric field %s (%s); use obs.Counter or obs.Histogram so updates stay atomic",
+					spec.Name.Name, name.Name, obj.Type()),
+			})
+		}
+	}
+	return out
+}
+
+// obscounterWrite flags an assignment or ++/-- target that is an
+// unexported bare numeric field of a live aggregate struct.
+func obscounterWrite(pkg *Package, target ast.Expr) []Finding {
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selInfo, found := pkg.Info.Selections[sel]
+	if !found || selInfo.Kind() != types.FieldVal {
+		return nil
+	}
+	fld, ok := selInfo.Obj().(*types.Var)
+	if !ok || fld.Exported() || !isBareNumeric(fld.Type()) {
+		return nil
+	}
+	named := namedRecv(selInfo.Recv())
+	if named == nil || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return nil
+	}
+	if p := named.Obj().Pkg(); p == nil || !obscounterScope(p.Path()) {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: "obscounter",
+		Pos:      pkg.Fset.Position(target.Pos()),
+		Message: fmt.Sprintf("direct write to %s.%s bypasses the atomic helpers; make the field an obs.Counter/Histogram and use Inc/Add/Observe",
+			named.Obj().Name(), fld.Name()),
+	}}
+}
+
+// isBareNumeric reports whether the type's underlying representation is a
+// plain machine number (integer or float) — the shapes obs.Counter and
+// obs.Histogram exist to replace.
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}

@@ -1,0 +1,70 @@
+// Fixture for the obscounter analyzer. The test typechecks this file
+// under an import path inside internal/obs: live aggregates (structs
+// named *Stats) must count through Counter/Histogram fields, never bare
+// unexported numerics. Flagged lines carry a "// want:<analyzer>"
+// marker.
+package obs
+
+import "sync/atomic"
+
+// Counter stands in for the real obs.Counter: the helper wrapper every
+// live-aggregate field is supposed to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ScanStats is a live aggregate that wrongly mixes bare numeric fields
+// in with its counters.
+type ScanStats struct {
+	starts  Counter
+	fetches int64   // want:obscounter
+	ratio   float64 // want:obscounter
+}
+
+// RecordBad updates the bare fields directly — every write is a race
+// under concurrent sessions.
+func (s *ScanStats) RecordBad(n int64) {
+	s.fetches++          // want:obscounter
+	s.fetches += n       // want:obscounter
+	s.ratio = float64(n) // want:obscounter
+}
+
+// RecordOK goes through the helper.
+func (s *ScanStats) RecordOK() {
+	s.starts.Inc()
+}
+
+// ScanSnapshot is an inert copy: plain exported fields are the point of
+// a snapshot, and the type name does not claim to be a live aggregate.
+type ScanSnapshot struct {
+	Starts  int64
+	Fetches int64
+}
+
+// SliceStats mirrors CallbackStats: a Stats-named per-item slice of a
+// snapshot. Its fields are exported plain numerics — an inert copy, so
+// reads and writes need no atomics.
+type SliceStats struct {
+	Calls int64
+	Nanos int64
+}
+
+// merge folds one snapshot slice into another; exported-field writes on
+// snapshot types are legitimate.
+func merge(dst *SliceStats, src SliceStats) {
+	dst.Calls += src.Calls
+	dst.Nanos += src.Nanos
+}
+
+// legacyStats shows the sanctioned escape hatch with a justification.
+type legacyStats struct {
+	//vetx:ignore obscounter -- fixture: grandfathered single-goroutine gauge
+	gauge int64
+}
+
+// touch keeps the suppressed field (and the type) referenced.
+func touch(l *legacyStats) int64 { return l.gauge }

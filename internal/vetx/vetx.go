@@ -53,6 +53,7 @@ func DefaultAnalyzers() []*Analyzer {
 		LockBalance(),
 		PinBalance(),
 		ErrAudit(),
+		Obscounter(),
 		CallbackContract(),
 		Layering(DefaultLayeringConfig()),
 	}

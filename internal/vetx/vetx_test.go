@@ -127,6 +127,20 @@ func TestErrAuditSkipsNonInternal(t *testing.T) {
 	}
 }
 
+func TestObscounter(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/obs", "obscounter.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	checkFindings(t, pkg, Obscounter())
+}
+
+func TestObscounterSkipsOtherPackages(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/exec", "obscounter.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	if fs := Obscounter().Run(pkg); len(fs) != 0 {
+		t.Errorf("obscounter fired outside internal/obs: %v", fs)
+	}
+}
+
 func TestCallbackContract(t *testing.T) {
 	pkg := parseFixture(t, "repro/internal/cartridge/cartfix", "callbackcontract.go")
 	checkFindings(t, pkg, CallbackContract())
