@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx
 
-.PHONY: build vet lint test race crash fuzz obs-smoke check bench
+.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,8 @@ check: build vet lint test race crash obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+## bench-batch: Fetch-batch-size sweep, row-at-a-time baseline vs
+## batch-first executor, one JSON metrics snapshot per batch size
+bench-batch:
+	$(GO) run ./cmd/benchrunner -only B1 -json

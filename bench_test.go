@@ -48,3 +48,5 @@ func BenchmarkE9_MaintenanceOverhead(b *testing.B) { runExperiment(b, bench.E9Ma
 func BenchmarkE10_CollectionIndex(b *testing.B) { runExperiment(b, bench.E10CollectionIndex) }
 
 func BenchmarkA1_CallbacksVsDirect(b *testing.B) { runExperiment(b, bench.A1CallbacksVsDirect) }
+
+func BenchmarkB1_BatchSweep(b *testing.B) { runExperiment(b, bench.BatchSweep) }

@@ -68,6 +68,7 @@ func main() {
 		{"E9", bench.E9MaintenanceOverhead},
 		{"E10", bench.E10CollectionIndex},
 		{"A1", bench.A1CallbacksVsDirect},
+		{"B1", bench.BatchSweep},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	var total engine.Metrics

@@ -5,7 +5,7 @@
 //
 //	extsql [-db path] [-f script.sql]
 //
-// Meta commands: \tables, \plan <query>, \quit.
+// Meta commands: \tables, \plan <query>, \stats, \batch [n], \quit.
 package main
 
 import (
@@ -111,10 +111,23 @@ func meta(db *extdb.DB, s *extdb.Session, cmd string) bool {
 		}
 	case strings.HasPrefix(cmd, `\plan `):
 		run(s, "EXPLAIN PLAN FOR "+strings.TrimSuffix(strings.TrimPrefix(cmd, `\plan `), ";"))
+	case cmd == `\batch`:
+		if db.DefaultFetchBatch > 0 {
+			fmt.Printf("fetch batch size: %d\n", db.DefaultFetchBatch)
+		} else {
+			fmt.Println("fetch batch size: auto (planner picks per scan; see EXPLAIN)")
+		}
+	case strings.HasPrefix(cmd, `\batch `):
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(cmd, `\batch `), "%d", &n); err != nil || n < 0 {
+			fmt.Println(`usage: \batch [n]   (n > 0 fixes the ODCI Fetch batch size, 0 = planner picks)`)
+			break
+		}
+		db.DefaultFetchBatch = n
 	case cmd == `\stats`:
 		fmt.Print(db.Metrics().String())
 	default:
-		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\quit")
+		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\batch [n], \\quit")
 	}
 	return true
 }

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// BatchSweep (B1) sweeps the ODCI Fetch batch size over the text
+// workload and measures the batch-first executor against the
+// row-at-a-time baseline at each size. Chunk mode carries each Fetch
+// batch through the plan as one chunk with a page-sorted heap read; row
+// mode degrades the same plan to one row and one heap pin per step —
+// the volcano execution the paper's batch interface argues against.
+// The two modes must return byte-identical results.
+//
+// Each size runs against freshly reset engine counters, so every table
+// row is a per-size metrics snapshot (interface crossings, pager
+// fetches); `benchrunner -json -only B1` emits them machine-readably.
+func BatchSweep(cfg Config) Table {
+	nDocs := cfg.pick(3000, 15000)
+	db, s, g := textDB(nDocs, 30, 1500, "")
+	defer mustClose(db)
+	kw := g.CommonWord(1)
+
+	t := Table{
+		ID:         "B1",
+		Title:      "Fetch batch size: batch-first executor vs row-at-a-time baseline",
+		PaperClaim: "batch interfaces reduce interactions between application and server code (§2.5); carrying the batch through the plan keeps that saving",
+		Headers:    []string{"batch size", "rows", "Fetch calls", "pager fetches", "row mode", "chunk mode", "speedup"},
+	}
+	s.SetForcedPath(engine.ForceDomainScan)
+	query := func() (rows [][]types.Value) {
+		rs := must1(s.Query(`SELECT id FROM docs WHERE Contains(body, ?)`, types.Str(kw)))
+		return rs.Rows
+	}
+	for _, batch := range []int{1, 16, 256, 2048} {
+		db.DefaultFetchBatch = batch
+
+		s.SetRowMode(true)
+		var rowRows [][]types.Value
+		rowTime := timed(func() { rowRows = query() })
+
+		s.SetRowMode(false)
+		db.ResetMetrics()
+		var chunkRows [][]types.Value
+		chunkTime := timed(func() { chunkRows = query() })
+		m := db.Metrics()
+
+		if a, b := encodeResult(rowRows), encodeResult(chunkRows); a != b {
+			panic(fmt.Sprintf("B1: batch %d: row mode and chunk mode disagree (%d vs %d rows)",
+				batch, len(rowRows), len(chunkRows)))
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(batch),
+			fmt.Sprint(len(chunkRows)),
+			fmt.Sprint(m.ODCI.Callbacks["ODCIIndexFetch"].Calls),
+			fmt.Sprint(m.Pager.Fetches),
+			ms(rowTime),
+			ms(chunkTime),
+			fmt.Sprintf("%.2fx", float64(rowTime)/float64(chunkTime)),
+		})
+	}
+	return t
+}
+
+// encodeResult renders a result set as one byte-exact image.
+func encodeResult(rows [][]types.Value) string {
+	var buf []byte
+	for _, r := range rows {
+		buf = types.EncodeRow(buf, r)
+	}
+	return string(buf)
+}

@@ -58,14 +58,11 @@ type DB struct {
 	parseMu    sync.Mutex
 	parseCache map[string]sql.Statement
 
-	// DefaultFetchBatch is the maxRows passed to ODCIIndexFetch when the
-	// plan does not override it (the paper's batch interface; E8 sweeps
-	// this).
+	// DefaultFetchBatch is the maxRows passed to ODCIIndexFetch (and the
+	// chunk size of domain scans). 0 lets the planner pick a batch size
+	// from the cardinality estimate (the paper's batch interface; E8 and
+	// B1 sweep this).
 	DefaultFetchBatch int
-
-	// fetchCalls counts ODCIIndexFetch interface crossings across all
-	// domain scans (batching instrumentation).
-	fetchCalls int64
 
 	// wal is the redo log, nil when logging is disabled. walMu serializes
 	// commit-record appends and checkpoint truncation against each other.
@@ -171,11 +168,13 @@ func (db *DB) RecoveryInfo() storage.RecoveryInfo { return db.recovery }
 // WALEnabled reports whether a write-ahead log governs this database.
 func (db *DB) WALEnabled() bool { return db.wal != nil }
 
-// FetchCalls reports the cumulative number of ODCIIndexFetch invocations.
-func (db *DB) FetchCalls() int64 { return atomic.LoadInt64(&db.fetchCalls) }
+// FetchCalls reports the cumulative number of ODCIIndexFetch invocations,
+// read from the ODCI boundary observer (every registry-resolved scan is
+// instrumented; per-scan counts live on exec.DomainScan.Fetches).
+func (db *DB) FetchCalls() int64 { return db.odci.Calls(obs.CbFetch) }
 
 // ResetFetchCalls zeroes the ODCIIndexFetch counter.
-func (db *DB) ResetFetchCalls() { atomic.StoreInt64(&db.fetchCalls, 0) }
+func (db *DB) ResetFetchCalls() { db.odci.ResetCallback(obs.CbFetch) }
 
 // Open creates or opens a database. When a WAL governs the page space
 // (file databases by default, or any injected WALSink), Open first

@@ -229,8 +229,24 @@ type accessPath struct {
 	cost     float64
 	estRows  float64
 	sel      float64 // predicate selectivity behind estRows; < 0 unknown
+	batch    int     // fetch/chunk batch size picked for the scan; 0 = n/a
 	consumed int     // index into conjuncts consumed by this path, -1 = none
 	build    func() (exec.Iterator, error)
+}
+
+// pickFetchBatch chooses the ODCI Fetch batch size (= chunk size) for a
+// domain scan: an explicit DB default wins; otherwise grow from 16 by
+// doubling until the cardinality estimate is covered, capped at 2048 so
+// a bad estimate cannot demand an unbounded batch.
+func pickFetchBatch(dflt int, estRows float64) int {
+	if dflt > 0 {
+		return dflt
+	}
+	b := 16
+	for float64(b) < estRows && b < 2048 {
+		b *= 2
+	}
+	return b
 }
 
 // tableStats derives the optimizer inputs.
@@ -257,6 +273,7 @@ func (s *Session) fullScanPath(tb *tableBinding) accessPath {
 		cost:     pages + rows*cpuPerRow,
 		estRows:  rows,
 		sel:      1,
+		batch:    exec.DefaultChunkSize,
 		consumed: -1,
 		build: func() (exec.Iterator, error) {
 			return exec.NewHeapScan(tb.tbl.Heap)
@@ -359,6 +376,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					cost:     3 + sel*rows*1.2,
 					estRows:  sel * rows,
 					sel:      sel,
+					batch:    exec.DefaultChunkSize,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildBTreeScan(tb, ix, sg) },
 				})
@@ -373,6 +391,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					cost:     1.5 + sel*rows*1.1,
 					estRows:  sel * rows,
 					sel:      sel,
+					batch:    exec.DefaultChunkSize,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildHashScan(tb, ix, sg) },
 				})
@@ -387,6 +406,7 @@ func (s *Session) builtinIndexPaths(tb *tableBinding, conjuncts []sql.Expr, para
 					cost:     1 + sel*rows*1.05,
 					estRows:  sel * rows,
 					sel:      sel,
+					batch:    exec.DefaultChunkSize,
 					consumed: ci,
 					build:    func() (exec.Iterator, error) { return s.buildBitmapScan(tb, ix, sg) },
 				})
@@ -447,7 +467,7 @@ func (s *Session) buildBTreeScan(tb *tableBinding, ix *catalog.Index, sg sargInf
 			return nil, err
 		}
 	}
-	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids)}, nil
+	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids), PerRow: s.rowMode}, nil
 }
 
 func keyPrefix(key []byte, n int) []byte {
@@ -494,7 +514,7 @@ func (s *Session) buildHashScan(tb *tableBinding, ix *catalog.Index, sg sargInfo
 		}
 		rids = append(rids, row[0].Int64())
 	}
-	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids)}, nil
+	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids), PerRow: s.rowMode}, nil
 }
 
 func (s *Session) buildBitmapScan(tb *tableBinding, ix *catalog.Index, sg sargInfo) (exec.Iterator, error) {
@@ -506,7 +526,7 @@ func (s *Session) buildBitmapScan(tb *tableBinding, ix *catalog.Index, sg sargIn
 			return true
 		})
 	}
-	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids)}, nil
+	return &exec.RIDFetch{Heap: tb.tbl.Heap, Src: exec.SliceRIDSource(rids), PerRow: s.rowMode}, nil
 }
 
 // domainPaths proposes domain index scans for user-operator conjuncts.
@@ -555,12 +575,14 @@ func (s *Session) domainPaths(tb *tableBinding, conjuncts []sql.Expr, params []t
 					}
 				}
 			}
+			batch := pickFetchBatch(s.db.DefaultFetchBatch, sel*rows)
 			out = append(out, accessPath{
 				kind:     "DOMAIN",
 				desc:     fmt.Sprintf("DOMAIN INDEX %s (%s via %s)", strings.ToUpper(ix.Name), pred.opName, ix.IndexType),
 				cost:     cost.Total(),
 				estRows:  sel * rows,
 				sel:      sel,
+				batch:    batch,
 				consumed: ci,
 				build: func() (exec.Iterator, error) {
 					return &exec.DomainScan{
@@ -569,10 +591,10 @@ func (s *Session) domainPaths(tb *tableBinding, conjuncts []sql.Expr, params []t
 						Info:      info,
 						Call:      call,
 						Heap:      tb.tbl.Heap,
-						BatchSize: s.db.DefaultFetchBatch,
+						BatchSize: batch,
 						Label:     pred.label,
 						Sink:      s,
-						Counter:   &s.db.fetchCalls,
+						PerRow:    s.rowMode,
 					}, nil
 				},
 			})
@@ -666,6 +688,7 @@ func (s *Session) choosePath(tb *tableBinding, conjuncts []sql.Expr, params []ty
 				Cost:        p.cost,
 				EstRows:     p.estRows,
 				Selectivity: p.sel,
+				Batch:       p.batch,
 				Chosen:      i == chosen,
 			})
 		}
@@ -681,7 +704,7 @@ func (s *Session) buildTableAccess(tb *tableBinding, conjuncts []sql.Expr, param
 	if err != nil {
 		return nil, path, err
 	}
-	it = s.instr(it, path.desc, path.estRows)
+	it = s.instrScan(it, path)
 	var residual []sql.Expr
 	for i, e := range conjuncts {
 		if i != path.consumed {
@@ -950,8 +973,8 @@ func (s *Session) planJoin(tbs []*tableBinding, conjuncts []sql.Expr, params []t
 					Info:      dj.info,
 					Call:      extidx.OperatorCall{Name: dj.opName, Args: args, Relop: dj.relop, Bound: dj.bound},
 					Heap:      inner.tbl.Heap,
-					BatchSize: s.db.DefaultFetchBatch,
-					Counter:   &s.db.fetchCalls,
+					BatchSize: pickFetchBatch(s.db.DefaultFetchBatch, 0),
+					PerRow:    s.rowMode,
 				}
 				if len(innerConj) > 0 {
 					inIt = &exec.Filter{Child: inIt, Pred: innerPred}

@@ -34,15 +34,25 @@ func (s *Session) runSelect(sel *sql.Select, params []types.Value) (*ResultSet, 
 	if err != nil {
 		return nil, err
 	}
-	return drainResult(it, schema)
+	return s.drainResult(it, schema)
 }
 
-func drainResult(it exec.Iterator, schema *exec.Schema) (*ResultSet, error) {
+// drainResult materializes the pipeline's output. The default path pulls
+// chunks straight out of the batch executor; row mode (SetRowMode) drains
+// through a RowAdapter instead — the row-at-a-time baseline benchmarks
+// compare against.
+func (s *Session) drainResult(it exec.Iterator, schema *exec.Schema) (*ResultSet, error) {
 	cols := make([]string, len(schema.Cols))
 	for i, c := range schema.Cols {
 		cols[i] = c.Name
 	}
-	rows, err := exec.Drain(it)
+	var rows []exec.Row
+	var err error
+	if s.rowMode {
+		rows, err = exec.DrainRows(it)
+	} else {
+		rows, err = exec.Drain(it)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +83,7 @@ func (s *Session) runSelectTraced(sel *sql.Select, params []types.Value, tr *obs
 		if err != nil {
 			return nil, err
 		}
-		return drainResult(it, schema)
+		return s.drainResult(it, schema)
 	}()
 
 	tr.Elapsed = time.Since(start)
@@ -184,7 +194,11 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 			return nil, nil, nil, err
 		}
 		schema = tbs[0].schema
-		descs = []string{path.desc, fmt.Sprintf("  cost=%.2f estRows=%.1f", path.cost, path.estRows)}
+		costLine := fmt.Sprintf("  cost=%.2f estRows=%.1f", path.cost, path.estRows)
+		if path.batch > 0 {
+			costLine += fmt.Sprintf(" batch=%d", path.batch)
+		}
+		descs = []string{path.desc, costLine}
 	} else {
 		var err error
 		it, schema, descs, err = s.planJoin(tbs, conjuncts, params)
@@ -325,6 +339,18 @@ func (s *Session) instr(it exec.Iterator, desc string, estRows float64) exec.Ite
 		return it
 	}
 	return &exec.Instrument{Child: it, Node: s.trace.Node(desc, estRows)}
+}
+
+// instrScan is instr for a table-access operator: the node additionally
+// records the batch size the planner chose for the scan, so EXPLAIN
+// ANALYZE shows batch=<n> per scan operator.
+func (s *Session) instrScan(it exec.Iterator, path accessPath) exec.Iterator {
+	if s.trace == nil {
+		return it
+	}
+	n := s.trace.Node(path.desc, path.estRows)
+	n.BatchSize = path.batch
+	return &exec.Instrument{Child: it, Node: n}
 }
 
 func identityExprs(n int) []exec.Compiled {

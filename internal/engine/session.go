@@ -50,6 +50,11 @@ type Session struct {
 	// hook, see SetForcedPath).
 	forced string
 
+	// rowMode drains queries row-at-a-time through a RowAdapter and
+	// degrades scans to per-row heap reads — the volcano baseline the
+	// batch-sweep benchmark compares against (see SetRowMode).
+	rowMode bool
+
 	// trace, while non-nil, is the active query trace: the planner
 	// appends costed candidates to it and wraps operators in
 	// exec.Instrument nodes. pendingTrace stages a trace for the next
@@ -66,6 +71,12 @@ func (db *DB) NewSession() *Session {
 
 // DB returns the owning database.
 func (s *Session) DB() *DB { return s.db }
+
+// SetRowMode toggles row-at-a-time execution for this session: results
+// are drained through a RowAdapter and scans do one heap read per row.
+// It exists so benchmarks and tests can compare the volcano baseline
+// against the batch path; normal sessions leave it off.
+func (s *Session) SetRowMode(on bool) { s.rowMode = on }
 
 // ---------------------------------------------------------------------------
 // Transaction plumbing

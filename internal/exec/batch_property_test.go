@@ -1,0 +1,576 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/extidx"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Property/model test for the chunk protocol: random operator stacks are
+// built over the same base rows three ways — a plain-Go model of each
+// operator's semantics, the chunk path drained at several batch sizes
+// (including 1, which forces maximal protocol traffic), and the
+// row-at-a-time RowAdapter path — and all must agree byte-for-byte
+// (encoded row images, in order).
+//
+// The expressions inside Filter/Project/Sort/Aggregate are shared Go
+// closures, so the property isolates the operator and chunk machinery:
+// EOS signalling, empty mid-stream batches, Full()-bounded refills, and
+// state carried across NextBatch calls.
+//
+// Failures are replayable: the test prints the failing seed and the op
+// script (e.g. "F2 P L5 S1 D J A"), which parsePlanScript and
+// TestBatchPlanReplay re-run verbatim.
+
+type planOp struct {
+	kind byte // F=Filter P=Project L=Limit S=Sort D=Distinct J=Join A=Aggregate
+	n    int  // F: modulus, L: limit, S: 1=desc
+}
+
+func (o planOp) String() string {
+	switch o.kind {
+	case 'F', 'L', 'S':
+		return fmt.Sprintf("%c%d", o.kind, o.n)
+	}
+	return string(o.kind)
+}
+
+func planScript(ops []planOp) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func parsePlanScript(t *testing.T, s string) []planOp {
+	t.Helper()
+	var ops []planOp
+	for _, f := range strings.Fields(s) {
+		op := planOp{kind: f[0]}
+		if len(f) > 1 {
+			n, err := strconv.Atoi(f[1:])
+			if err != nil {
+				t.Fatalf("bad op %q: %v", f, err)
+			}
+			op.n = n
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Shared semantics: the same closures feed both the operators and the
+// model, so any divergence is protocol machinery, not expression logic.
+
+func keepRow(r Row, k int) bool { return r[0].Int64()%int64(k) == 0 }
+
+func projectRow(r Row) Row {
+	return Row{r[len(r)-1], types.Int(r[0].Int64() + 1)}
+}
+
+var joinInnerRows = []Row{{types.Int(100)}, {types.Int(200)}}
+
+// buildPlan stacks the scripted operators over a fresh Slice source.
+func buildPlan(ops []planOp, base []Row) Iterator {
+	var it Iterator = &Slice{Rows: base}
+	for _, o := range ops {
+		switch o.kind {
+		case 'F':
+			k := o.n
+			it = &Filter{Child: it, Pred: func(r Row) (types.Value, error) {
+				return types.Bool(keepRow(r, k)), nil
+			}}
+		case 'P':
+			it = &Project{Child: it, Exprs: []Compiled{
+				func(r Row) (types.Value, error) { return r[len(r)-1], nil },
+				func(r Row) (types.Value, error) { return types.Int(r[0].Int64() + 1), nil },
+			}}
+		case 'L':
+			it = &Limit{Child: it, N: o.n}
+		case 'S':
+			it = &Sort{Child: it, Keys: []SortKey{{
+				Expr: func(r Row) (types.Value, error) { return r[0], nil },
+				Desc: o.n == 1,
+			}}}
+		case 'D':
+			it = &Distinct{Child: it}
+		case 'J':
+			it = &NestedLoopJoin{Outer: it, Inner: func(Row) (Iterator, error) {
+				return &Slice{Rows: joinInnerRows}, nil
+			}}
+		case 'A':
+			it = &HashAggregate{
+				Child:   it,
+				GroupBy: []Compiled{func(r Row) (types.Value, error) { return r[0], nil }},
+				Specs: []AggSpec{
+					{Kind: AggCountStar},
+					{Kind: AggSum, Arg: func(r Row) (types.Value, error) { return r[len(r)-1], nil }},
+				},
+			}
+		}
+	}
+	return it
+}
+
+// modelApply is the plain-Go oracle for the same operator stack.
+func modelApply(ops []planOp, base []Row) []Row {
+	rows := base
+	for _, o := range ops {
+		var next []Row
+		switch o.kind {
+		case 'F':
+			for _, r := range rows {
+				if keepRow(r, o.n) {
+					next = append(next, r)
+				}
+			}
+		case 'P':
+			for _, r := range rows {
+				next = append(next, projectRow(r))
+			}
+		case 'L':
+			n := o.n
+			if n > len(rows) {
+				n = len(rows)
+			}
+			next = rows[:n]
+		case 'S':
+			next = modelSort(rows, o.n == 1)
+		case 'D':
+			seen := map[string]bool{}
+			for _, r := range rows {
+				key := string(types.EncodeRow(nil, r))
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, r)
+				}
+			}
+		case 'J':
+			for _, outer := range rows {
+				for _, inner := range joinInnerRows {
+					joined := make(Row, 0, len(outer)+len(inner))
+					joined = append(joined, outer...)
+					joined = append(joined, inner...)
+					next = append(next, joined)
+				}
+			}
+		case 'A':
+			next = modelAggregate(rows)
+		}
+		rows = next
+	}
+	return rows
+}
+
+func modelSort(rows []Row, desc bool) []Row {
+	out := make([]Row, len(rows))
+	copy(out, rows)
+	// Insertion sort: stable, and mirrors the operator's
+	// Identical/Less/Desc comparison exactly.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1][0], out[j][0]
+			if types.Identical(a, b) {
+				break
+			}
+			less := types.Less(b, a)
+			if desc {
+				less = !less
+			}
+			if !less {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func modelAggregate(rows []Row) []Row {
+	type gstate struct {
+		key   types.Value
+		stars int64
+		n     int64
+		sum   float64
+	}
+	groups := map[string]*gstate{}
+	var order []string
+	for _, r := range rows {
+		gk := string(types.EncodeRow(nil, []types.Value{r[0]}))
+		st, ok := groups[gk]
+		if !ok {
+			st = &gstate{key: r[0]}
+			groups[gk] = st
+			order = append(order, gk)
+		}
+		st.stars++
+		if v := r[len(r)-1]; !v.IsNull() {
+			st.n++
+			st.sum += v.Float()
+		}
+	}
+	var out []Row
+	for _, gk := range order {
+		st := groups[gk]
+		sum := types.Null()
+		if st.n > 0 {
+			sum = types.Num(st.sum)
+		}
+		out = append(out, Row{st.key, types.Int(st.stars), sum})
+	}
+	return out
+}
+
+// drainWith drains the iterator at the given chunk size, publishing each
+// row's ancillary value as a real consumer would.
+func drainWith(it Iterator, batch int) ([]Row, error) {
+	defer it.Close()
+	var out []Row
+	c := NewChunk(batch)
+	for {
+		if err := it.NextBatch(c); err != nil {
+			return nil, err
+		}
+		if c.Len() == 0 {
+			return out, nil
+		}
+		for i, r := range c.Rows {
+			c.PublishRow(i)
+			out = append(out, r)
+		}
+	}
+}
+
+func encodeRows(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(types.EncodeRow(nil, r))
+	}
+	return out
+}
+
+func sameRows(a, b []Row) bool {
+	ea, eb := encodeRows(a), encodeRows(b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPlanParity runs the script through the model, the chunk path at
+// several batch sizes, and the RowAdapter path, and requires identical
+// encoded output everywhere.
+func checkPlanParity(t *testing.T, ops []planOp, base []Row) bool {
+	t.Helper()
+	want := modelApply(ops, base)
+	for _, batch := range []int{1, 3, DefaultChunkSize} {
+		got, err := drainWith(buildPlan(ops, base), batch)
+		if err != nil {
+			t.Errorf("script %q batch %d: %v", planScript(ops), batch, err)
+			return false
+		}
+		if !sameRows(want, got) {
+			t.Errorf("script %q batch %d: chunk path %d rows != model %d rows",
+				planScript(ops), batch, len(got), len(want))
+			return false
+		}
+	}
+	rows, err := DrainRows(buildPlan(ops, base))
+	if err != nil {
+		t.Errorf("script %q row path: %v", planScript(ops), err)
+		return false
+	}
+	if !sameRows(want, rows) {
+		t.Errorf("script %q: row path %d rows != model %d rows",
+			planScript(ops), len(rows), len(want))
+		return false
+	}
+	return true
+}
+
+func genPlanOps(rng *rand.Rand) []planOp {
+	kinds := []byte{'F', 'P', 'L', 'S', 'D', 'J', 'A'}
+	n := 1 + rng.Intn(5)
+	ops := make([]planOp, 0, n)
+	for i := 0; i < n; i++ {
+		op := planOp{kind: kinds[rng.Intn(len(kinds))]}
+		switch op.kind {
+		case 'F':
+			op.n = 1 + rng.Intn(4) // modulus 1 keeps all, 4 keeps few
+		case 'L':
+			op.n = rng.Intn(20) // limit 0 allowed: empty downstream
+		case 'S':
+			op.n = rng.Intn(2)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func genBaseRows(rng *rand.Rand) []Row {
+	n := rng.Intn(41) // 0 rows allowed: empty pipelines
+	rows := make([]Row, n)
+	for i := range rows {
+		v := types.Null()
+		if rng.Float64() >= 0.1 {
+			v = types.Int(int64(rng.Intn(50)))
+		}
+		rows[i] = Row{types.Int(int64(rng.Intn(5))), v}
+	}
+	return rows
+}
+
+func TestBatchPlanProperty(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for seed := int64(1); seed <= int64(iters); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := genPlanOps(rng)
+		base := genBaseRows(rng)
+		if !checkPlanParity(t, ops, base) {
+			t.Fatalf("replay with: seed %d, script %q (%d base rows)",
+				seed, planScript(ops), len(base))
+		}
+	}
+}
+
+// TestBatchPlanReplay re-runs fixed scripts covering every operator and
+// the boundary shapes: a filter that rejects everything (empty
+// mid-stream batches), limit 0, aggregate over zero rows, and stacked
+// order-sensitive operators.
+func TestBatchPlanReplay(t *testing.T) {
+	base := []Row{
+		{types.Int(0), types.Int(3)},
+		{types.Int(1), types.Int(1)},
+		{types.Int(2), types.Null()},
+		{types.Int(0), types.Int(3)},
+		{types.Int(4), types.Int(9)},
+		{types.Int(1), types.Int(7)},
+	}
+	scripts := []string{
+		"F2 P L5 S1 D J A",
+		"F4 F3", // second filter sees sparse upstream chunks
+		"L0 A",  // global-shape aggregate over an empty stream
+		"S0 S1 D",
+		"J J L7",
+		"A S1 P",
+		"D F1 L3",
+	}
+	for _, s := range scripts {
+		checkPlanParity(t, parsePlanScript(t, s), base)
+	}
+	// And the empty base relation through every single operator.
+	for _, s := range []string{"F2", "P", "L3", "S0", "D", "J", "A"} {
+		checkPlanParity(t, parsePlanScript(t, s), nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DomainScan edge cases via a scripted cartridge
+
+// scriptedMethods replays a fixed sequence of FetchResults, so tests can
+// force protocol shapes a real cartridge rarely produces: empty
+// mid-stream batches, Done carried on a non-empty final batch, and
+// exact-boundary batches.
+type scriptedMethods struct {
+	batches []extidx.FetchResult
+	fetches int
+	closes  int
+}
+
+func (m *scriptedMethods) Create(extidx.Server, extidx.IndexInfo) error          { return nil }
+func (m *scriptedMethods) Alter(extidx.Server, extidx.IndexInfo, string) error   { return nil }
+func (m *scriptedMethods) Truncate(extidx.Server, extidx.IndexInfo) error        { return nil }
+func (m *scriptedMethods) Drop(extidx.Server, extidx.IndexInfo) error            { return nil }
+func (m *scriptedMethods) Insert(extidx.Server, extidx.IndexInfo, int64, types.Value) error {
+	return nil
+}
+func (m *scriptedMethods) Delete(extidx.Server, extidx.IndexInfo, int64, types.Value) error {
+	return nil
+}
+func (m *scriptedMethods) Update(extidx.Server, extidx.IndexInfo, int64, types.Value, types.Value) error {
+	return nil
+}
+
+func (m *scriptedMethods) Start(extidx.Server, extidx.IndexInfo, extidx.OperatorCall) (extidx.ScanState, error) {
+	m.fetches = 0
+	return extidx.StateValue{}, nil
+}
+
+func (m *scriptedMethods) Fetch(_ extidx.Server, st extidx.ScanState, _ int) (extidx.FetchResult, extidx.ScanState, error) {
+	if m.fetches >= len(m.batches) {
+		return extidx.FetchResult{Done: true}, st, nil
+	}
+	res := m.batches[m.fetches]
+	m.fetches++
+	return res, st, nil
+}
+
+func (m *scriptedMethods) Close(extidx.Server, extidx.ScanState) error {
+	m.closes++
+	return nil
+}
+
+// recordSink captures ancillary publications in consumption order.
+type recordSink struct {
+	labels []int64
+	vals   []types.Value
+}
+
+func (s *recordSink) SetAncillary(label int64, v types.Value) {
+	s.labels = append(s.labels, label)
+	s.vals = append(s.vals, v)
+}
+
+func propertyHeap(t *testing.T, n int) (*storage.Heap, []int64) {
+	t.Helper()
+	p := storage.NewPager(storage.NewMemBackend(), 32)
+	h, err := storage.CreateHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert(types.EncodeRow(nil, []types.Value{types.Int(int64(i))}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid.Int64()
+	}
+	return h, rids
+}
+
+func domainScanRowIDs(t *testing.T, rows []Row) []int64 {
+	t.Helper()
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].Int64()
+	}
+	return out
+}
+
+func TestDomainScanBatchEdges(t *testing.T) {
+	h, rids := propertyHeap(t, 6)
+	cases := []struct {
+		name    string
+		batches []extidx.FetchResult
+		want    []int64 // expected row values, in order
+		fetches int     // Fetch calls the scan must make — and no more
+	}{
+		{
+			name: "empty-mid-stream",
+			batches: []extidx.FetchResult{
+				{RIDs: rids[0:2]},
+				{}, // empty but not Done: scan must keep fetching
+				{RIDs: rids[2:3], Done: true},
+			},
+			want:    []int64{0, 1, 2},
+			fetches: 3,
+		},
+		{
+			name: "done-with-nonempty-final-batch",
+			batches: []extidx.FetchResult{
+				{RIDs: rids[0:3]},
+				{RIDs: rids[3:6], Done: true}, // no trailing null-rowid Fetch
+			},
+			want:    []int64{0, 1, 2, 3, 4, 5},
+			fetches: 2,
+		},
+		{
+			name: "exact-boundary",
+			batches: []extidx.FetchResult{
+				{RIDs: rids[0:4]}, // exactly BatchSize
+				{Done: true},      // classic null-rowid end-of-scan
+			},
+			want:    []int64{0, 1, 2, 3},
+			fetches: 2,
+		},
+		{
+			name:    "immediately-done",
+			batches: []extidx.FetchResult{{Done: true}},
+			want:    nil,
+			fetches: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, perRow := range []bool{false, true} {
+				m := &scriptedMethods{batches: tc.batches}
+				scan := &DomainScan{Methods: m, Heap: h, BatchSize: 4, PerRow: perRow}
+				rows, err := Drain(scan)
+				if err != nil {
+					t.Fatalf("perRow=%v: %v", perRow, err)
+				}
+				got := domainScanRowIDs(t, rows)
+				if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+					t.Errorf("perRow=%v: rows %v, want %v", perRow, got, tc.want)
+				}
+				if m.fetches != tc.fetches {
+					t.Errorf("perRow=%v: %d Fetch calls, want %d", perRow, m.fetches, tc.fetches)
+				}
+				if m.closes != 1 {
+					t.Errorf("perRow=%v: Close called %d times", perRow, m.closes)
+				}
+			}
+		})
+	}
+}
+
+// TestDomainScanAncillaryPublishing checks that consuming a chunk row by
+// row publishes each row's ancillary value to the sink — including NULL
+// padding when a batch carries no ancillary data — on both the chunk and
+// RowAdapter paths.
+func TestDomainScanAncillaryPublishing(t *testing.T) {
+	h, rids := propertyHeap(t, 4)
+	batches := []extidx.FetchResult{
+		{RIDs: rids[0:2], Ancillary: []types.Value{types.Num(0.5), types.Num(1.5)}},
+		{RIDs: rids[2:4], Done: true}, // no ancillary: padded with NULLs
+	}
+	for _, mode := range []string{"chunk", "rows"} {
+		sink := &recordSink{}
+		scan := &DomainScan{
+			Methods:   &scriptedMethods{batches: batches},
+			Heap:      h,
+			BatchSize: 2,
+			Label:     7,
+			Sink:      sink,
+		}
+		var err error
+		if mode == "chunk" {
+			_, err = drainWith(scan, 2)
+		} else {
+			_, err = DrainRows(scan)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(sink.vals) != 4 {
+			t.Fatalf("%s: %d ancillary publications, want 4", mode, len(sink.vals))
+		}
+		for i, l := range sink.labels {
+			if l != 7 {
+				t.Errorf("%s: publication %d has label %d, want 7", mode, i, l)
+			}
+		}
+		if sink.vals[0].Float() != 0.5 || sink.vals[1].Float() != 1.5 {
+			t.Errorf("%s: ancillary values %v", mode, sink.vals[:2])
+		}
+		if !sink.vals[2].IsNull() || !sink.vals[3].IsNull() {
+			t.Errorf("%s: missing NULL padding: %v", mode, sink.vals[2:])
+		}
+	}
+}

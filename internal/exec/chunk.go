@@ -1,0 +1,202 @@
+package exec
+
+import "repro/internal/types"
+
+// DefaultChunkSize is the row capacity operators aim for when the caller
+// does not request a specific batch size.
+const DefaultChunkSize = 256
+
+// Chunk is the unit of data flow between operators: a bounded run of rows
+// plus, when the producer is a scan, the parallel RIDs and per-row
+// ancillary values of those rows. One ODCI Fetch batch becomes one chunk,
+// so the cartridge's batch contract survives all the way up the plan tree
+// instead of being re-serialized into per-row pulls.
+//
+// Protocol: a consumer calls NextBatch(c); the producer Resets c and
+// appends rows. A chunk left empty after NextBatch returns means end of
+// stream — producers must therefore loop internally over empty
+// mid-stream batches (an index scan may legitimately return zero RIDs
+// without being done). Chunks are never reused to alias row storage:
+// rows appended to a chunk remain valid after subsequent NextBatch calls.
+//
+// Ancillary values ride from the scan through row-preserving operators
+// (Filter, Limit, the outer side of a join) to the first
+// expression-evaluating consumer, which must call PublishRow(i) before
+// evaluating expressions over Rows[i] so ancillary operators (Score)
+// observe the value belonging to that row.
+type Chunk struct {
+	Rows []Row
+	// RIDs, when non-empty, parallels Rows with the packed RID each row
+	// came from. Operators that reshape rows (Project, Sort, aggregates,
+	// joins) drop it.
+	RIDs []int64
+	// Anc, when non-empty, parallels Rows with the ancillary value the
+	// scan attached to each row, tagged by Label for Sink.
+	Anc   []types.Value
+	Label int64
+	Sink  AncillarySink
+
+	max int
+}
+
+// NewChunk returns an empty chunk with the given target capacity
+// (<= 0 selects DefaultChunkSize).
+func NewChunk(max int) *Chunk {
+	if max <= 0 {
+		max = DefaultChunkSize
+	}
+	return &Chunk{max: max}
+}
+
+// Max is the number of rows the producer should aim for per batch.
+func (c *Chunk) Max() int {
+	if c.max <= 0 {
+		return DefaultChunkSize
+	}
+	return c.max
+}
+
+// Len is the number of rows currently in the chunk.
+func (c *Chunk) Len() int { return len(c.Rows) }
+
+// Full reports whether the chunk reached its target capacity.
+func (c *Chunk) Full() bool { return len(c.Rows) >= c.Max() }
+
+// Reset empties the chunk (keeping backing arrays) so a producer can
+// refill it.
+func (c *Chunk) Reset() {
+	c.Rows = c.Rows[:0]
+	c.RIDs = c.RIDs[:0]
+	c.Anc = c.Anc[:0]
+	c.Label = 0
+	c.Sink = nil
+}
+
+// Append adds a plain row with no RID or ancillary value.
+func (c *Chunk) Append(r Row) { c.Rows = append(c.Rows, r) }
+
+// Truncate drops rows beyond n, keeping parallel slices in sync.
+func (c *Chunk) Truncate(n int) {
+	if n >= len(c.Rows) {
+		return
+	}
+	c.Rows = c.Rows[:n]
+	if len(c.RIDs) > n {
+		c.RIDs = c.RIDs[:n]
+	}
+	if len(c.Anc) > n {
+		c.Anc = c.Anc[:n]
+	}
+}
+
+// CopyRowFrom appends row i of src, carrying its RID and ancillary value
+// (and src's label/sink wiring) when present. Row-preserving operators
+// use it so ancillary data survives them.
+func (c *Chunk) CopyRowFrom(src *Chunk, i int) {
+	c.Rows = append(c.Rows, src.Rows[i])
+	if i < len(src.RIDs) {
+		c.RIDs = append(c.RIDs, src.RIDs[i])
+	}
+	if i < len(src.Anc) {
+		c.Anc = append(c.Anc, src.Anc[i])
+		c.Label, c.Sink = src.Label, src.Sink
+	}
+}
+
+// PublishRow pushes row i's ancillary value to the sink under the chunk's
+// label. Expression-evaluating consumers call it before evaluating
+// anything over Rows[i]; it is a no-op for chunks without ancillary data.
+func (c *Chunk) PublishRow(i int) {
+	if c.Sink == nil || c.Label == 0 || i >= len(c.Anc) {
+		return
+	}
+	c.Sink.SetAncillary(c.Label, c.Anc[i])
+}
+
+// ---------------------------------------------------------------------------
+// Row adapter
+
+// RowAdapter exposes a batch iterator one row at a time for call sites
+// that genuinely need single rows (result cursors in row mode, tests).
+// It buffers one chunk and publishes each row's ancillary value as the
+// row is handed out, which restores the volcano-era ordering guarantee:
+// by the time a caller evaluates expressions over the returned row, the
+// sink holds that row's ancillary value.
+type RowAdapter struct {
+	Child Iterator
+	// BatchSize is the chunk size pulled from the child (<= 0 selects
+	// DefaultChunkSize).
+	BatchSize int
+
+	buf  *Chunk
+	pos  int
+	done bool
+}
+
+// Next returns the next row, or (nil, nil) at end of stream.
+func (a *RowAdapter) Next() (Row, error) {
+	for {
+		if a.buf != nil && a.pos < a.buf.Len() {
+			a.buf.PublishRow(a.pos)
+			r := a.buf.Rows[a.pos]
+			a.pos++
+			return r, nil
+		}
+		if a.done {
+			return nil, nil
+		}
+		if a.buf == nil {
+			a.buf = NewChunk(a.BatchSize)
+		}
+		if err := a.Child.NextBatch(a.buf); err != nil {
+			return nil, err
+		}
+		a.pos = 0
+		if a.buf.Len() == 0 {
+			a.done = true
+			return nil, nil
+		}
+	}
+}
+
+// NextBatch delegates to the child, so a RowAdapter still satisfies the
+// batch Iterator contract (do not interleave it with Next on the same
+// adapter: rows buffered for Next would be skipped).
+func (a *RowAdapter) NextBatch(c *Chunk) error { return a.Child.NextBatch(c) }
+
+// Close closes the underlying iterator.
+func (a *RowAdapter) Close() error { return a.Child.Close() }
+
+// Drain pulls every row out of a batch iterator chunk-wise and closes it.
+func Drain(it Iterator) ([]Row, error) {
+	defer it.Close()
+	c := NewChunk(0)
+	var out []Row
+	for {
+		if err := it.NextBatch(c); err != nil {
+			return nil, err
+		}
+		if c.Len() == 0 {
+			return out, nil
+		}
+		out = append(out, c.Rows...)
+	}
+}
+
+// DrainRows pulls every row through a RowAdapter — the row-at-a-time
+// path — and closes the iterator. Parity tests compare it against Drain.
+func DrainRows(it Iterator) ([]Row, error) {
+	a := &RowAdapter{Child: it}
+	defer a.Close()
+	var out []Row
+	for {
+		r, err := a.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}

@@ -402,22 +402,100 @@ func BenchmarkFilterPipeline(b *testing.B) {
 		rows[i] = Row{types.Num(float64(i))}
 	}
 	pred := func(r Row) (types.Value, error) { return types.Bool(int(r[0].Float())%2 == 0), nil }
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		it := &Filter{Child: &Slice{Rows: rows}, Pred: pred}
-		n := 0
-		for {
-			r, err := it.Next()
-			if err != nil {
-				b.Fatal(err)
+	b.Run("chunk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it := &Filter{Child: &Slice{Rows: rows}, Pred: pred}
+			c := NewChunk(0)
+			n := 0
+			for {
+				if err := it.NextBatch(c); err != nil {
+					b.Fatal(err)
+				}
+				if c.Len() == 0 {
+					break
+				}
+				n += c.Len()
 			}
-			if r == nil {
-				break
+			if n != 500 {
+				b.Fatal(fmt.Sprint("bad count ", n))
 			}
-			n++
 		}
-		if n != 500 {
-			b.Fatal(fmt.Sprint("bad count ", n))
+	})
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := &RowAdapter{Child: &Filter{Child: &Slice{Rows: rows}, Pred: pred}}
+			n := 0
+			for {
+				r, err := a.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r == nil {
+					break
+				}
+				n++
+			}
+			if n != 500 {
+				b.Fatal(fmt.Sprint("bad count ", n))
+			}
 		}
+	})
+}
+
+// BenchmarkRIDFetchPath is the row-adapter vs chunk comparison on the
+// table-access stage, where the batch protocol pays off: row mode does
+// one pager pin/unpin per row, chunk mode one page-sorted batched read
+// per chunk.
+func BenchmarkRIDFetchPath(b *testing.B) {
+	p := storage.NewPager(storage.NewMemBackend(), 512)
+	h, err := storage.CreateHeap(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8192
+	rids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert(types.EncodeRow(nil, []types.Value{types.Int(int64(i)), types.Str("payload")}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rids[i] = rid.Int64()
+	}
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it := &RIDFetch{Heap: h, Src: SliceRIDSource(rids), PerRow: true}
+			rows, err := DrainRows(it)
+			if err != nil || len(rows) != n {
+				b.Fatal(len(rows), err)
+			}
+		}
+	})
+	for _, batch := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("chunk-%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := &RIDFetch{Heap: h, Src: SliceRIDSource(rids)}
+				c := NewChunk(batch)
+				got := 0
+				for {
+					if err := it.NextBatch(c); err != nil {
+						b.Fatal(err)
+					}
+					if c.Len() == 0 {
+						break
+					}
+					got += c.Len()
+				}
+				if err := it.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if got != n {
+					b.Fatal("bad count ", got)
+				}
+			}
+		})
 	}
 }

@@ -4,29 +4,32 @@ import (
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/types"
 )
 
-// Instrument wraps an iterator and accumulates actual row count and
-// wall time into an obs.OpNode for EXPLAIN ANALYZE. Time is measured
-// around Next, so it is inclusive of the operator's children (the pull
-// model drives the whole subtree from the root's Next). The wrapper is
-// used only when a query trace is active, so the untraced path pays
-// nothing.
+// Instrument wraps an iterator and accumulates actual row/batch counts
+// and wall time into an obs.OpNode for EXPLAIN ANALYZE. Time is measured
+// around NextBatch, so it is inclusive of the operator's children (the
+// pull model drives the whole subtree from the root), and the bookkeeping
+// is paid once per chunk rather than once per row. The wrapper is used
+// only when a query trace is active, so the untraced path pays nothing.
 type Instrument struct {
 	Child Iterator
 	Node  *obs.OpNode
 }
 
-// Next pulls one row from the child, timing the call and counting rows.
-func (it *Instrument) Next() ([]types.Value, error) {
+// NextBatch pulls one chunk from the child, timing the call and counting
+// rows and non-empty batches.
+func (it *Instrument) NextBatch(c *Chunk) error {
 	start := time.Now()
-	row, err := it.Child.Next()
+	err := it.Child.NextBatch(c)
 	it.Node.Nanos += time.Since(start).Nanoseconds()
-	if row != nil && err == nil {
-		it.Node.Rows++
+	if err == nil {
+		it.Node.Rows += int64(c.Len())
+		if c.Len() > 0 {
+			it.Node.Batches++
+		}
 	}
-	return row, err
+	return err
 }
 
 // Close closes the child.

@@ -3,9 +3,9 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/extidx"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -40,14 +40,14 @@ func NewHeapScan(h *storage.Heap) (*HeapScan, error) {
 	return s, nil
 }
 
-// Next implements Iterator.
-func (s *HeapScan) Next() (Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
+// NextBatch implements Iterator.
+func (s *HeapScan) NextBatch(c *Chunk) error {
+	c.Reset()
+	for s.pos < len(s.rows) && !c.Full() {
+		c.Append(s.rows[s.pos])
+		s.pos++
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+	return nil
 }
 
 // Close implements Iterator.
@@ -56,25 +56,42 @@ func (s *HeapScan) Close() error { return nil }
 // ---------------------------------------------------------------------------
 // Basic combinators
 
-// Filter yields child rows satisfying pred.
+// Filter yields child rows satisfying pred, carrying RIDs and ancillary
+// values through for the survivors. The predicate may itself read
+// ancillary values (Score in WHERE), so each row is published before
+// evaluation.
 type Filter struct {
 	Child Iterator
 	Pred  Compiled
+
+	buf *Chunk
 }
 
-// Next implements Iterator.
-func (f *Filter) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (f *Filter) NextBatch(c *Chunk) error {
+	c.Reset()
+	if f.buf == nil {
+		f.buf = NewChunk(c.Max())
+	}
 	for {
-		r, err := f.Child.Next()
-		if err != nil || r == nil {
-			return nil, err
+		if err := f.Child.NextBatch(f.buf); err != nil {
+			return err
 		}
-		v, err := f.Pred(r)
-		if err != nil {
-			return nil, err
+		if f.buf.Len() == 0 {
+			return nil
 		}
-		if Truthy(v) {
-			return r, nil
+		for i, r := range f.buf.Rows {
+			f.buf.PublishRow(i)
+			v, err := f.Pred(r)
+			if err != nil {
+				return err
+			}
+			if Truthy(v) {
+				c.CopyRowFrom(f.buf, i)
+			}
+		}
+		if c.Len() > 0 {
+			return nil
 		}
 	}
 }
@@ -82,50 +99,64 @@ func (f *Filter) Next() (Row, error) {
 // Close implements Iterator.
 func (f *Filter) Close() error { return f.Child.Close() }
 
-// Project maps child rows through compiled expressions.
+// Project maps child rows through compiled expressions. It is an
+// expression-evaluating consumer: each input row's ancillary value is
+// published before the expressions run, and output rows carry none.
 type Project struct {
 	Child Iterator
 	Exprs []Compiled
+
+	buf *Chunk
 }
 
-// Next implements Iterator.
-func (p *Project) Next() (Row, error) {
-	r, err := p.Child.Next()
-	if err != nil || r == nil {
-		return nil, err
+// NextBatch implements Iterator.
+func (p *Project) NextBatch(c *Chunk) error {
+	c.Reset()
+	if p.buf == nil {
+		p.buf = NewChunk(c.Max())
 	}
-	out := make(Row, len(p.Exprs))
-	for i, e := range p.Exprs {
-		v, err := e(r)
-		if err != nil {
-			return nil, err
+	if err := p.Child.NextBatch(p.buf); err != nil {
+		return err
+	}
+	for i, r := range p.buf.Rows {
+		p.buf.PublishRow(i)
+		out := make(Row, len(p.Exprs))
+		for j, e := range p.Exprs {
+			v, err := e(r)
+			if err != nil {
+				return err
+			}
+			out[j] = v
 		}
-		out[i] = v
+		c.Append(out)
 	}
-	return out, nil
+	return nil
 }
 
 // Close implements Iterator.
 func (p *Project) Close() error { return p.Child.Close() }
 
-// Limit stops after N rows.
+// Limit stops after N rows, truncating the chunk that crosses the bound.
 type Limit struct {
 	Child Iterator
 	N     int
 	seen  int
 }
 
-// Next implements Iterator.
-func (l *Limit) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (l *Limit) NextBatch(c *Chunk) error {
+	c.Reset()
 	if l.seen >= l.N {
-		return nil, nil
+		return nil
 	}
-	r, err := l.Child.Next()
-	if err != nil || r == nil {
-		return nil, err
+	if err := l.Child.NextBatch(c); err != nil {
+		return err
 	}
-	l.seen++
-	return r, nil
+	if rem := l.N - l.seen; c.Len() > rem {
+		c.Truncate(rem)
+	}
+	l.seen += c.Len()
+	return nil
 }
 
 // Close implements Iterator.
@@ -137,34 +168,18 @@ type Slice struct {
 	pos  int
 }
 
-// Next implements Iterator.
-func (s *Slice) Next() (Row, error) {
-	if s.pos >= len(s.Rows) {
-		return nil, nil
+// NextBatch implements Iterator.
+func (s *Slice) NextBatch(c *Chunk) error {
+	c.Reset()
+	for s.pos < len(s.Rows) && !c.Full() {
+		c.Append(s.Rows[s.pos])
+		s.pos++
 	}
-	r := s.Rows[s.pos]
-	s.pos++
-	return r, nil
+	return nil
 }
 
 // Close implements Iterator.
 func (s *Slice) Close() error { return nil }
-
-// Drain pulls every row out of an iterator and closes it.
-func Drain(it Iterator) ([]Row, error) {
-	defer it.Close()
-	var out []Row
-	for {
-		r, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if r == nil {
-			return out, nil
-		}
-		out = append(out, r)
-	}
-}
 
 // ---------------------------------------------------------------------------
 // Sort / Distinct
@@ -175,7 +190,9 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort materializes the child and yields rows ordered by the keys.
+// Sort materializes the child and yields rows ordered by the keys. Sort
+// keys are evaluated per row as chunks arrive (with the row's ancillary
+// value published first); the sorted output carries no ancillary data.
 type Sort struct {
 	Child Iterator
 	Keys  []SortKey
@@ -185,55 +202,71 @@ type Sort struct {
 	done   bool
 }
 
-// Next implements Iterator.
-func (s *Sort) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (s *Sort) NextBatch(c *Chunk) error {
+	c.Reset()
 	if !s.done {
-		rows, err := Drain(s.Child)
-		if err != nil {
-			return nil, err
+		if err := s.materialize(c.Max()); err != nil {
+			return err
 		}
-		type keyed struct {
-			row  Row
-			keys []types.Value
+		s.done = true
+	}
+	for s.pos < len(s.sorted) && !c.Full() {
+		c.Append(s.sorted[s.pos])
+		s.pos++
+	}
+	return nil
+}
+
+func (s *Sort) materialize(batch int) error {
+	type keyed struct {
+		row  Row
+		keys []types.Value
+	}
+	var ks []keyed
+	buf := NewChunk(batch)
+	for {
+		if err := s.Child.NextBatch(buf); err != nil {
+			return err
 		}
-		ks := make([]keyed, len(rows))
-		for i, r := range rows {
+		if buf.Len() == 0 {
+			break
+		}
+		for i, r := range buf.Rows {
+			buf.PublishRow(i)
 			kv := make([]types.Value, len(s.Keys))
 			for j, k := range s.Keys {
 				v, err := k.Expr(r)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				kv[j] = v
 			}
-			ks[i] = keyed{r, kv}
+			ks = append(ks, keyed{r, kv})
 		}
-		sort.SliceStable(ks, func(a, b int) bool {
-			for j, k := range s.Keys {
-				av, bv := ks[a].keys[j], ks[b].keys[j]
-				if types.Identical(av, bv) {
-					continue
-				}
-				less := types.Less(av, bv)
-				if k.Desc {
-					return !less
-				}
-				return less
+	}
+	if err := s.Child.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, k := range s.Keys {
+			av, bv := ks[a].keys[j], ks[b].keys[j]
+			if types.Identical(av, bv) {
+				continue
 			}
-			return false
-		})
-		s.sorted = make([]Row, len(ks))
-		for i := range ks {
-			s.sorted[i] = ks[i].row
+			less := types.Less(av, bv)
+			if k.Desc {
+				return !less
+			}
+			return less
 		}
-		s.done = true
+		return false
+	})
+	s.sorted = make([]Row, len(ks))
+	for i := range ks {
+		s.sorted[i] = ks[i].row
 	}
-	if s.pos >= len(s.sorted) {
-		return nil, nil
-	}
-	r := s.sorted[s.pos]
-	s.pos++
-	return r, nil
+	return nil
 }
 
 // Close implements Iterator.
@@ -242,25 +275,40 @@ func (s *Sort) Close() error { return s.Child.Close() }
 // Distinct suppresses duplicate rows (by encoded image).
 type Distinct struct {
 	Child Iterator
-	seen  map[string]bool
+
+	seen    map[string]bool
+	buf     *Chunk
+	scratch []byte
 }
 
-// Next implements Iterator.
-func (d *Distinct) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (d *Distinct) NextBatch(c *Chunk) error {
+	c.Reset()
 	if d.seen == nil {
 		d.seen = make(map[string]bool)
 	}
+	if d.buf == nil {
+		d.buf = NewChunk(c.Max())
+	}
 	for {
-		r, err := d.Child.Next()
-		if err != nil || r == nil {
-			return nil, err
+		if err := d.Child.NextBatch(d.buf); err != nil {
+			return err
 		}
-		key := string(types.EncodeRow(nil, r))
-		if d.seen[key] {
-			continue
+		if d.buf.Len() == 0 {
+			return nil
 		}
-		d.seen[key] = true
-		return r, nil
+		for i, r := range d.buf.Rows {
+			d.scratch = types.EncodeRow(d.scratch[:0], r)
+			key := string(d.scratch)
+			if d.seen[key] {
+				continue
+			}
+			d.seen[key] = true
+			c.CopyRowFrom(d.buf, i)
+		}
+		if c.Len() > 0 {
+			return nil
+		}
 	}
 }
 
@@ -272,47 +320,85 @@ func (d *Distinct) Close() error { return d.Child.Close() }
 
 // NestedLoopJoin joins an outer iterator with a per-outer-row inner
 // iterator factory, concatenating rows. Pushing an index lookup into the
-// factory turns it into an index nested-loop join.
+// factory turns it into an index nested-loop join. Output rows replicate
+// the outer row's ancillary value, so Score above a domain-scan-driven
+// join keeps working.
 type NestedLoopJoin struct {
 	Outer Iterator
 	Inner func(outer Row) (Iterator, error)
 
-	curOuter Row
-	curInner Iterator
+	outerBuf  *Chunk
+	outerPos  int
+	outerDone bool
+	curInner  Iterator
+	innerBuf  *Chunk
+	innerPos  int
 }
 
-// Next implements Iterator.
-func (j *NestedLoopJoin) Next() (Row, error) {
-	for {
-		if j.curInner == nil {
-			o, err := j.Outer.Next()
-			if err != nil || o == nil {
-				return nil, err
+// NextBatch implements Iterator.
+func (j *NestedLoopJoin) NextBatch(c *Chunk) error {
+	c.Reset()
+	for !c.Full() {
+		if j.curInner != nil {
+			if j.innerPos >= j.innerBuf.Len() {
+				if err := j.curInner.NextBatch(j.innerBuf); err != nil {
+					return err
+				}
+				j.innerPos = 0
+				if j.innerBuf.Len() == 0 {
+					err := j.curInner.Close()
+					j.curInner = nil
+					if err != nil {
+						return err
+					}
+					j.outerPos++
+					continue
+				}
 			}
-			j.curOuter = o
-			inner, err := j.Inner(o)
-			if err != nil {
-				return nil, err
-			}
-			j.curInner = inner
-		}
-		ir, err := j.curInner.Next()
-		if err != nil {
-			return nil, err
-		}
-		if ir == nil {
-			err := j.curInner.Close()
-			j.curInner = nil
-			if err != nil {
-				return nil, err
+			o := j.outerBuf.Rows[j.outerPos]
+			for j.innerPos < j.innerBuf.Len() && !c.Full() {
+				ir := j.innerBuf.Rows[j.innerPos]
+				j.innerPos++
+				out := make(Row, 0, len(o)+len(ir))
+				out = append(out, o...)
+				out = append(out, ir...)
+				c.Append(out)
+				if j.outerPos < len(j.outerBuf.Anc) {
+					c.Anc = append(c.Anc, j.outerBuf.Anc[j.outerPos])
+					c.Label, c.Sink = j.outerBuf.Label, j.outerBuf.Sink
+				}
 			}
 			continue
 		}
-		out := make(Row, 0, len(j.curOuter)+len(ir))
-		out = append(out, j.curOuter...)
-		out = append(out, ir...)
-		return out, nil
+		if j.outerBuf == nil {
+			j.outerBuf = NewChunk(c.Max())
+		}
+		if j.outerPos >= j.outerBuf.Len() {
+			if j.outerDone {
+				return nil
+			}
+			if err := j.Outer.NextBatch(j.outerBuf); err != nil {
+				return err
+			}
+			j.outerPos = 0
+			if j.outerBuf.Len() == 0 {
+				j.outerDone = true
+				return nil
+			}
+		}
+		inner, err := j.Inner(j.outerBuf.Rows[j.outerPos])
+		if err != nil {
+			return err
+		}
+		j.curInner = inner
+		if j.innerBuf == nil {
+			j.innerBuf = NewChunk(c.Max())
+		} else {
+			j.innerBuf.Reset()
+		}
+		j.innerPos = 0
 	}
+	return nil
 }
 
 // Close implements Iterator.
@@ -331,29 +417,86 @@ func (j *NestedLoopJoin) Close() error {
 // ---------------------------------------------------------------------------
 // RID fetch
 
+// fetchRows appends the decoded rows for rids to c, in input order, with
+// the ROWID pseudo-column appended. Row images come from one page-sorted
+// batched heap read, so each page is pinned once per batch instead of
+// once per row. Decoding copies all byte content, so rows never alias
+// pinned pages.
+func fetchRows(h *storage.Heap, rids []int64, c *Chunk) error {
+	if len(rids) == 0 {
+		return nil
+	}
+	srids := make([]storage.RID, len(rids))
+	for i, r := range rids {
+		srids[i] = storage.RIDFromInt64(r)
+	}
+	start := len(c.Rows)
+	c.Rows = append(c.Rows, make([]Row, len(rids))...)
+	if err := h.GetBatchFunc(srids, func(i int, img []byte) error {
+		row, _, err := types.DecodeRow(img)
+		if err != nil {
+			return err
+		}
+		c.Rows[start+i] = append(row, types.Int(rids[i]))
+		return nil
+	}); err != nil {
+		c.Rows = c.Rows[:start]
+		return err
+	}
+	c.RIDs = append(c.RIDs, rids...)
+	return nil
+}
+
 // RIDFetch turns a stream of packed RIDs into full table rows (RID
-// appended), fetching from the heap on demand. It is the table-access
+// appended), batching heap reads page-sorted. It is the table-access
 // stage above index scans.
 type RIDFetch struct {
 	Heap *storage.Heap
 	Src  func() (int64, bool, error) // next RID; ok=false at end
+	// PerRow degrades to one heap read per batch — the row-at-a-time
+	// baseline the batch-sweep benchmark compares against.
+	PerRow bool
+
+	rids []int64
 }
 
-// Next implements Iterator.
-func (f *RIDFetch) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (f *RIDFetch) NextBatch(c *Chunk) error {
+	c.Reset()
+	if f.PerRow {
+		return f.fetchOne(c)
+	}
+	f.rids = f.rids[:0]
+	for len(f.rids) < c.Max() {
+		rid, ok, err := f.Src()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		f.rids = append(f.rids, rid)
+	}
+	return fetchRows(f.Heap, f.rids, c)
+}
+
+// fetchOne emits a single row via the per-row heap path.
+func (f *RIDFetch) fetchOne(c *Chunk) error {
 	rid, ok, err := f.Src()
 	if err != nil || !ok {
-		return nil, err
+		return err
 	}
 	img, err := f.Heap.Get(storage.RIDFromInt64(rid))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	row, _, err := types.DecodeRow(img)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return append(row, types.Int(rid)), nil
+	c.Rows = append(c.Rows, append(row, types.Int(rid)))
+	c.RIDs = append(c.RIDs, rid)
+	return nil
 }
 
 // Close implements Iterator.
@@ -376,29 +519,38 @@ func SliceRIDSource(rids []int64) func() (int64, bool, error) {
 // Domain index scan
 
 // AncillarySink receives per-row ancillary values keyed by label while a
-// domain scan advances; the Env implementation exposes them to ancillary
-// operators (Score) evaluated higher in the plan.
+// domain scan's rows are consumed; the Env implementation exposes them to
+// ancillary operators (Score) evaluated higher in the plan.
 type AncillarySink interface {
 	SetAncillary(label int64, v types.Value)
 }
 
 // DomainScan drives a cartridge's ODCIIndex scan routines as a pipelined
-// row source: Start on first Next, batched Fetch as the consumer pulls,
-// Close on Close. This is the single-step execution model the paper
-// credits for the text cartridge's 10× speedup: no temporary result
-// table, row identifiers stream directly into the plan.
+// row source: Start on first NextBatch, batched Fetch as the consumer
+// pulls, Close on Close. Each ODCI Fetch batch becomes one chunk — the
+// single-step execution model the paper credits for the text cartridge's
+// 10× speedup, now preserved through the whole plan tree.
 type DomainScan struct {
 	Methods extidx.IndexMethods
 	Server  extidx.Server
 	Info    extidx.IndexInfo
 	Call    extidx.OperatorCall
 	Heap    *storage.Heap
-	// BatchSize is passed to Fetch (<=0 lets the cartridge choose).
+	// BatchSize is passed to Fetch (<=0 lets the cartridge choose) and is
+	// the chunk size this scan produces.
 	BatchSize int
 	// Label tags ancillary values for this operator invocation (0 = no
 	// ancillary wiring).
 	Label int64
 	Sink  AncillarySink
+	// PerRow degrades the scan to one row per batch with a per-row heap
+	// read — the volcano baseline for the batch-sweep benchmark.
+	PerRow bool
+	// Fetches counts this scan's ODCIIndexFetch crossings: one atomic
+	// per-scan counter replacing the former plain-int/shared-pointer
+	// pair. Engine-wide totals come from the ODCI boundary observer
+	// (obs.ODCIStats), not from threading a DB counter into every scan.
+	Fetches obs.Counter
 
 	started bool
 	state   extidx.ScanState
@@ -406,65 +558,90 @@ type DomainScan struct {
 	anc     []types.Value
 	pos     int
 	done    bool
-	// FetchCalls counts Fetch crossings (batching experiments read it).
-	FetchCalls int
-	// Counter, when set, accumulates Fetch crossings across scans
-	// (atomically), so the engine can report interface-crossing counts
-	// for whole statements.
-	Counter *int64
 }
 
-// Next implements Iterator.
-func (d *DomainScan) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (d *DomainScan) NextBatch(c *Chunk) error {
+	c.Reset()
 	if !d.started {
 		st, err := d.Methods.Start(d.Server, d.Info, d.Call)
 		if err != nil {
-			return nil, fmt.Errorf("ODCIIndexStart(%s): %w", d.Info.IndexName, err)
+			return fmt.Errorf("ODCIIndexStart(%s): %w", d.Info.IndexName, err)
 		}
 		d.state = st
 		d.started = true
 	}
 	for {
 		if d.pos < len(d.buf) {
-			rid := d.buf[d.pos]
-			var av types.Value
-			if d.anc != nil && d.pos < len(d.anc) {
-				av = d.anc[d.pos]
+			if d.PerRow {
+				return d.emitOne(c)
 			}
-			d.pos++
-			img, err := d.Heap.Get(storage.RIDFromInt64(rid))
-			if err != nil {
-				return nil, err
-			}
-			row, _, err := types.DecodeRow(img)
-			if err != nil {
-				return nil, err
-			}
-			if d.Sink != nil && d.Label != 0 {
-				d.Sink.SetAncillary(d.Label, av)
-			}
-			return append(row, types.Int(rid)), nil
+			return d.emitBatch(c)
 		}
 		if d.done {
-			return nil, nil
+			return nil
 		}
 		res, st, err := d.Methods.Fetch(d.Server, d.state, d.BatchSize)
 		if err != nil {
-			return nil, fmt.Errorf("ODCIIndexFetch(%s): %w", d.Info.IndexName, err)
+			return fmt.Errorf("ODCIIndexFetch(%s): %w", d.Info.IndexName, err)
 		}
 		d.state = st
-		d.FetchCalls++
-		if d.Counter != nil {
-			atomic.AddInt64(d.Counter, 1)
+		d.Fetches.Inc()
+		if err := res.Validate(); err != nil {
+			return fmt.Errorf("ODCIIndexFetch(%s): %w", d.Info.IndexName, err)
 		}
-		d.buf = res.RIDs
-		d.anc = res.Ancillary
-		d.pos = 0
-		d.done = res.Done
-		if len(d.buf) == 0 && d.done {
-			return nil, nil
+		d.buf, d.anc, d.pos, d.done = res.RIDs, res.Ancillary, 0, res.Done
+	}
+}
+
+// emitBatch turns the rest of the buffered Fetch batch into one chunk via
+// the page-sorted heap read.
+func (d *DomainScan) emitBatch(c *Chunk) error {
+	rids := d.buf[d.pos:]
+	var anc []types.Value
+	if d.anc != nil {
+		anc = d.anc[d.pos:]
+	}
+	d.pos = len(d.buf)
+	if err := fetchRows(d.Heap, rids, c); err != nil {
+		return err
+	}
+	if d.Label != 0 && d.Sink != nil {
+		c.Label, c.Sink = d.Label, d.Sink
+		if anc != nil {
+			c.Anc = append(c.Anc, anc...)
+		} else {
+			for range rids {
+				c.Anc = append(c.Anc, types.Null())
+			}
 		}
 	}
+	return nil
+}
+
+// emitOne emits a single buffered row via the per-row heap path.
+func (d *DomainScan) emitOne(c *Chunk) error {
+	rid := d.buf[d.pos]
+	av := types.Null()
+	if d.anc != nil {
+		av = d.anc[d.pos]
+	}
+	d.pos++
+	img, err := d.Heap.Get(storage.RIDFromInt64(rid))
+	if err != nil {
+		return err
+	}
+	row, _, err := types.DecodeRow(img)
+	if err != nil {
+		return err
+	}
+	c.Rows = append(c.Rows, append(row, types.Int(rid)))
+	c.RIDs = append(c.RIDs, rid)
+	if d.Label != 0 && d.Sink != nil {
+		c.Label, c.Sink = d.Label, d.Sink
+		c.Anc = append(c.Anc, av)
+	}
+	return nil
 }
 
 // Close implements Iterator.
@@ -521,79 +698,82 @@ type aggState struct {
 	filled []bool
 }
 
-// Next implements Iterator.
-func (h *HashAggregate) Next() (Row, error) {
+// NextBatch implements Iterator.
+func (h *HashAggregate) NextBatch(c *Chunk) error {
+	c.Reset()
 	if !h.evaluated {
-		if err := h.evaluate(); err != nil {
-			return nil, err
+		if err := h.evaluate(c.Max()); err != nil {
+			return err
 		}
 		h.evaluated = true
 	}
-	if h.pos >= len(h.out) {
-		return nil, nil
+	for h.pos < len(h.out) && !c.Full() {
+		c.Append(h.out[h.pos])
+		h.pos++
 	}
-	r := h.out[h.pos]
-	h.pos++
-	return r, nil
+	return nil
 }
 
-func (h *HashAggregate) evaluate() error {
+func (h *HashAggregate) evaluate(batch int) error {
 	groups := map[string]*aggState{}
 	var order []string
+	buf := NewChunk(batch)
 	for {
-		r, err := h.Child.Next()
-		if err != nil {
+		if err := h.Child.NextBatch(buf); err != nil {
 			return err
 		}
-		if r == nil {
+		if buf.Len() == 0 {
 			break
 		}
-		keys := make([]types.Value, len(h.GroupBy))
-		for i, g := range h.GroupBy {
-			v, err := g(r)
-			if err != nil {
-				return err
+		for ri, r := range buf.Rows {
+			buf.PublishRow(ri)
+			keys := make([]types.Value, len(h.GroupBy))
+			for i, g := range h.GroupBy {
+				v, err := g(r)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
 			}
-			keys[i] = v
-		}
-		gk := string(types.EncodeRow(nil, keys))
-		st, ok := groups[gk]
-		if !ok {
-			st = &aggState{
-				keys:   keys,
-				count:  make([]int64, len(h.Specs)),
-				sum:    make([]float64, len(h.Specs)),
-				minv:   make([]types.Value, len(h.Specs)),
-				maxv:   make([]types.Value, len(h.Specs)),
-				filled: make([]bool, len(h.Specs)),
+			gk := string(types.EncodeRow(nil, keys))
+			st, ok := groups[gk]
+			if !ok {
+				st = &aggState{
+					keys:   keys,
+					count:  make([]int64, len(h.Specs)),
+					sum:    make([]float64, len(h.Specs)),
+					minv:   make([]types.Value, len(h.Specs)),
+					maxv:   make([]types.Value, len(h.Specs)),
+					filled: make([]bool, len(h.Specs)),
+				}
+				groups[gk] = st
+				order = append(order, gk)
 			}
-			groups[gk] = st
-			order = append(order, gk)
-		}
-		for i, spec := range h.Specs {
-			if spec.Kind == AggCountStar {
+			for i, spec := range h.Specs {
+				if spec.Kind == AggCountStar {
+					st.count[i]++
+					continue
+				}
+				v, err := spec.Arg(r)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
 				st.count[i]++
-				continue
-			}
-			v, err := spec.Arg(r)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue
-			}
-			st.count[i]++
-			st.sum[i] += v.Float()
-			if !st.filled[i] {
-				st.minv[i], st.maxv[i] = v, v
-				st.filled[i] = true
-				continue
-			}
-			if types.Less(v, st.minv[i]) {
-				st.minv[i] = v
-			}
-			if types.Less(st.maxv[i], v) {
-				st.maxv[i] = v
+				st.sum[i] += v.Float()
+				if !st.filled[i] {
+					st.minv[i], st.maxv[i] = v, v
+					st.filled[i] = true
+					continue
+				}
+				if types.Less(v, st.minv[i]) {
+					st.minv[i] = v
+				}
+				if types.Less(st.maxv[i], v) {
+					st.maxv[i] = v
+				}
 			}
 		}
 	}

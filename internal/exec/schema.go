@@ -1,8 +1,11 @@
-// Package exec implements the engine's volcano-style executor: row
-// schemas, a compiling expression evaluator, and the iterator operators
-// the planner assembles — table scans, filters, projections, sorts,
-// joins, RID lookups, and the pipelined domain-index scan that drives a
-// cartridge's ODCIIndexStart/Fetch/Close routines as a row source.
+// Package exec implements the engine's batch-first executor: row
+// schemas, a compiling expression evaluator, and the chunk-at-a-time
+// operators the planner assembles — table scans, filters, projections,
+// sorts, joins, RID lookups, and the pipelined domain-index scan that
+// drives a cartridge's ODCIIndexStart/Fetch/Close routines as a row
+// source. Operators exchange bounded Chunks of rows rather than single
+// tuples, so an ODCI Fetch batch flows through the plan tree intact; a
+// RowAdapter restores row-at-a-time access where a caller needs it.
 package exec
 
 import (
@@ -64,10 +67,11 @@ func Concat(a, b *Schema) *Schema {
 	return out
 }
 
-// Iterator is the volcano interface: Next returns the next row, or
-// (nil, nil) at end of stream. Close releases resources and is safe to
-// call more than once.
+// Iterator is the batch executor interface. NextBatch resets c and
+// fills it with the next run of rows; a chunk left empty signals end of
+// stream, so producers must internally skip empty mid-stream batches.
+// Close releases resources and is safe to call more than once.
 type Iterator interface {
-	Next() (Row, error)
+	NextBatch(c *Chunk) error
 	Close() error
 }

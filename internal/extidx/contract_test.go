@@ -3,6 +3,7 @@ package extidx_test
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/cartridge/chem"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cartridge/text"
 	"repro/internal/cartridge/vir"
 	"repro/internal/engine"
+	"repro/internal/extidx"
 	"repro/internal/types"
 )
 
@@ -358,5 +360,103 @@ func TestCartridgeContract(t *testing.T) {
 				t.Errorf("%s: %d scan contexts leaked in workspace", c.name, n)
 			}
 		})
+	}
+}
+
+// badAncMethods is a deliberately broken cartridge: its Fetch returns an
+// Ancillary slice shorter than RIDs, violating the fetch contract. The
+// engine must reject the batch with a contract error rather than
+// silently misaligning ancillary values against rows.
+type badAncMethods struct{ rids []int64 }
+
+func (m *badAncMethods) Create(s extidx.Server, info extidx.IndexInfo) error {
+	rows, err := s.Query(fmt.Sprintf(`SELECT ROWID FROM %s`, info.TableName))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		m.rids = append(m.rids, r[0].Int64())
+	}
+	return nil
+}
+
+func (m *badAncMethods) Alter(s extidx.Server, info extidx.IndexInfo, newParams string) error {
+	return nil
+}
+func (m *badAncMethods) Truncate(s extidx.Server, info extidx.IndexInfo) error {
+	m.rids = nil
+	return nil
+}
+func (m *badAncMethods) Drop(s extidx.Server, info extidx.IndexInfo) error { return nil }
+func (m *badAncMethods) Insert(s extidx.Server, info extidx.IndexInfo, rid int64, newVal types.Value) error {
+	m.rids = append(m.rids, rid)
+	return nil
+}
+func (m *badAncMethods) Delete(s extidx.Server, info extidx.IndexInfo, rid int64, oldVal types.Value) error {
+	return nil
+}
+func (m *badAncMethods) Update(s extidx.Server, info extidx.IndexInfo, rid int64, oldVal, newVal types.Value) error {
+	return nil
+}
+
+func (m *badAncMethods) Start(s extidx.Server, info extidx.IndexInfo, call extidx.OperatorCall) (extidx.ScanState, error) {
+	return extidx.StateValue{V: nil}, nil
+}
+
+func (m *badAncMethods) Fetch(s extidx.Server, st extidx.ScanState, maxRows int) (extidx.FetchResult, extidx.ScanState, error) {
+	// One ancillary value short of the RID count: the contract violation
+	// under test.
+	return extidx.FetchResult{
+		RIDs:      m.rids,
+		Ancillary: make([]types.Value, len(m.rids)-1),
+		Done:      true,
+	}, st, nil
+}
+
+func (m *badAncMethods) Close(s extidx.Server, st extidx.ScanState) error { return nil }
+
+func badEqFn(args []types.Value) (types.Value, error) { return types.Num(1), nil }
+
+// TestFetchContractViolation drives a domain scan through a cartridge
+// whose Fetch breaks the len(Ancillary) == len(RIDs) invariant and
+// asserts the engine surfaces a contract error instead of bad rows.
+func TestFetchContractViolation(t *testing.T) {
+	db, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	reg := db.Registry()
+	if err := reg.RegisterFunction("BadEqFn", badEqFn); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterMethods("BadAncMethods", &badAncMethods{}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	ddl := []string{
+		`CREATE OPERATOR BadEq BINDING (NUMBER, NUMBER) RETURN NUMBER USING BadEqFn`,
+		`CREATE INDEXTYPE BadIndexType FOR BadEq(NUMBER, NUMBER) USING BadAncMethods`,
+		`CREATE TABLE BadT(id NUMBER, val NUMBER)`,
+		`INSERT INTO BadT VALUES (1, 1)`,
+		`INSERT INTO BadT VALUES (2, 1)`,
+		`INSERT INTO BadT VALUES (3, 1)`,
+		`CREATE INDEX BadIdx ON BadT(val) INDEXTYPE IS BadIndexType`,
+	}
+	for _, stmt := range ddl {
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+
+	s.SetForcedPath(engine.ForceDomainScan)
+	defer s.SetForcedPath(engine.ForceAuto)
+	_, err = s.Query(`SELECT id FROM BadT WHERE BadEq(val, 1)`)
+	if err == nil {
+		t.Fatal("domain scan over contract-breaking cartridge succeeded; want fetch contract violation")
+	}
+	if !strings.Contains(err.Error(), "fetch contract violation") {
+		t.Fatalf("error %q does not mention the fetch contract violation", err)
 	}
 }

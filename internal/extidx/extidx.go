@@ -222,6 +222,19 @@ type FetchResult struct {
 	Done      bool
 }
 
+// Validate checks the Fetch contract: a non-nil Ancillary slice must
+// parallel RIDs exactly, one value per row. A short slice would
+// otherwise make missing entries silently read as zero values at
+// whatever layer happens to consume them; the violation is reported at
+// the extidx boundary instead, naming the cartridge's mistake.
+func (fr FetchResult) Validate() error {
+	if fr.Ancillary != nil && len(fr.Ancillary) != len(fr.RIDs) {
+		return fmt.Errorf("extidx: fetch contract violation: %d RIDs with %d ancillary values",
+			len(fr.RIDs), len(fr.Ancillary))
+	}
+	return nil
+}
+
 // IndexMethods is the ODCIIndex interface: everything an indextype
 // designer must implement. The engine invokes these routines implicitly.
 type IndexMethods interface {

@@ -92,6 +92,11 @@ func (im instrumentedMethods) Fetch(s Server, state ScanState, maxRows int) (Fet
 	res, next, err := im.inner.Fetch(s, state, maxRows)
 	im.obs.Record(obs.CbFetch, time.Since(start))
 	if err == nil {
+		// Enforce the Fetch contract at the boundary before the batch is
+		// observed or consumed; a violating batch is not a real batch.
+		if verr := res.Validate(); verr != nil {
+			return res, next, verr
+		}
 		im.obs.ObserveFetchBatch(len(res.RIDs))
 	}
 	return res, next, err

@@ -107,6 +107,17 @@ func (o *ODCIStats) Calls(cb Callback) int64 {
 	return o.calls[cb].Load()
 }
 
+// ResetCallback zeroes the count and wall time of one callback. The
+// engine uses it to reset the Fetch-call counter that benchmark sweeps
+// read, without discarding the rest of the aggregate.
+func (o *ODCIStats) ResetCallback(cb Callback) {
+	if cb < 0 || cb >= numCallbacks {
+		return
+	}
+	o.calls[cb].Store(0)
+	o.nanos[cb].Store(0)
+}
+
 // Snapshot returns an inert copy (callbacks never invoked are omitted).
 func (o *ODCIStats) Snapshot() ODCISnapshot {
 	s := ODCISnapshot{

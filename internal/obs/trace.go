@@ -51,19 +51,28 @@ type PlanCandidate struct {
 	// DOMAIN paths this is the ODCIStatsSelectivity result. Negative
 	// when unknown.
 	Selectivity float64
+	// Batch is the fetch batch size the planner picked for this path
+	// (0 when the path has no batch-size dimension).
+	Batch int
 	// Chosen marks the winning path.
 	Chosen bool
 }
 
 // OpNode is one instrumented operator: its plan description, the
 // planner's row estimate (negative when the operator has none), and the
-// measured actual rows and wall time. Time is inclusive of children
-// (it is accumulated around Next calls, which pull through the subtree).
+// measured actual rows, non-empty batches, and wall time. Time is
+// inclusive of children (it is accumulated around NextBatch calls, which
+// pull through the subtree).
 type OpNode struct {
 	Desc    string
 	EstRows float64 // < 0: no estimate for this operator
 	Rows    int64
-	Nanos   int64
+	// Batches counts non-empty chunks the operator produced.
+	Batches int64
+	// BatchSize is the batch size the planner chose for this operator
+	// (0 when not a batched scan).
+	BatchSize int
+	Nanos     int64
 }
 
 // Elapsed returns the operator's accumulated wall time.
@@ -113,8 +122,12 @@ func (t *QueryTrace) Render() []string {
 		if n.EstRows >= 0 {
 			est = fmt.Sprintf("est=%.1f ", n.EstRows)
 		}
-		lines = append(lines, fmt.Sprintf("%s%s (%srows=%d time=%s)",
-			indent, n.Desc, est, n.Rows, n.Elapsed().Round(time.Microsecond)))
+		batch := ""
+		if n.BatchSize > 0 {
+			batch = fmt.Sprintf(" batch=%d batches=%d", n.BatchSize, n.Batches)
+		}
+		lines = append(lines, fmt.Sprintf("%s%s (%srows=%d%s time=%s)",
+			indent, n.Desc, est, n.Rows, batch, n.Elapsed().Round(time.Microsecond)))
 	}
 	if len(t.Candidates) > 0 {
 		lines = append(lines, "CANDIDATE ACCESS PATHS:")
@@ -145,7 +158,11 @@ func RenderCandidates(cands []PlanCandidate) []string {
 		if c.Selectivity >= 0 {
 			sel = fmt.Sprintf(" sel=%.4f", c.Selectivity)
 		}
-		lines = append(lines, fmt.Sprintf("  %s %s cost=%.2f estRows=%.1f%s", marker, c.Desc, c.Cost, c.EstRows, sel))
+		batch := ""
+		if c.Batch > 0 {
+			batch = fmt.Sprintf(" batch=%d", c.Batch)
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s cost=%.2f estRows=%.1f%s%s", marker, c.Desc, c.Cost, c.EstRows, sel, batch))
 	}
 	return lines
 }

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // RID identifies a row in a heap: the page it lives on and its slot. RIDs
@@ -266,6 +267,85 @@ func (h *Heap) resolve(rid RID) (RID, []byte, error) {
 func (h *Heap) Get(rid RID) ([]byte, error) {
 	_, row, err := h.resolve(rid)
 	return row, err
+}
+
+// GetBatchFunc reads the row images for a batch of RIDs, calling fn once
+// per input with i the index into rids. The batch is visited in
+// (page, slot) order through an index permutation, so each page is
+// pinned once per run of RIDs on it instead of once per row; fn is
+// therefore invoked in page order, not input order — callers restore
+// input order by writing into slot i. The image passed to fn is only
+// valid for the duration of the call (it may alias the pinned page).
+// Forwarded rows are resolved after their home page is unpinned, since
+// the hop pins the target page itself.
+func (h *Heap) GetBatchFunc(rids []RID, fn func(i int, img []byte) error) error {
+	if len(rids) == 0 {
+		return nil
+	}
+	perm := make([]int, len(rids))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ra, rb := rids[perm[a]], rids[perm[b]]
+		if ra.Page != rb.Page {
+			return ra.Page < rb.Page
+		}
+		return ra.Slot < rb.Slot
+	})
+	var forwards []int
+	for k := 0; k < len(perm); {
+		page := rids[perm[k]].Page
+		pg, err := h.pager.Fetch(page)
+		if err != nil {
+			return err
+		}
+		for ; k < len(perm) && rids[perm[k]].Page == page; k++ {
+			i := perm[k]
+			rid := rids[i]
+			rec, err := pageRead(pg.Data, int(rid.Slot))
+			if err == nil && rec == nil {
+				err = fmt.Errorf("storage: no row at %s", rid)
+			}
+			if err != nil {
+				h.pager.Unpin(pg, false)
+				return err
+			}
+			if rec[0] == recForward {
+				forwards = append(forwards, i)
+				continue
+			}
+			if err := fn(i, rec[1:]); err != nil {
+				h.pager.Unpin(pg, false)
+				return err
+			}
+		}
+		h.pager.Unpin(pg, false)
+	}
+	for _, i := range forwards {
+		_, img, err := h.resolve(rids[i])
+		if err != nil {
+			return err
+		}
+		if err := fn(i, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetBatch returns copies of the row images for rids, in input order,
+// using the page-sorted batched read.
+func (h *Heap) GetBatch(rids []RID) ([][]byte, error) {
+	out := make([][]byte, len(rids))
+	err := h.GetBatchFunc(rids, func(i int, img []byte) error {
+		out[i] = append([]byte(nil), img...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Delete removes the row at rid (following forwarding).

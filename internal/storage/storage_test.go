@@ -345,6 +345,112 @@ func TestHeapUpdateInPlaceAndForwarded(t *testing.T) {
 	}
 }
 
+func TestHeapGetBatch(t *testing.T) {
+	p := newTestPager(t, 64)
+	h, _ := CreateHeap(p)
+	const n = 300
+	rids := make([]RID, n)
+	imgs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		imgs[i] = []byte(fmt.Sprintf("row-%04d-%s", i, bytes.Repeat([]byte("x"), i%40)))
+		rid, err := h.Insert(imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	// Relocate a few rows so the batch read crosses forwarding pointers.
+	forwarded := []int{5, 17, 250}
+	for _, i := range forwarded {
+		imgs[i] = bytes.Repeat([]byte("F"), 6000)
+		if err := h.Update(rids[i], imgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A shuffled multiset of RIDs, including duplicates and the forwarded
+	// rows: the callback must see each request at its ORIGINAL index with
+	// the right image, whatever page order the read actually used.
+	rng := rand.New(rand.NewSource(42))
+	req := make([]int, 0, 120)
+	for i := 0; i < 100; i++ {
+		req = append(req, rng.Intn(n))
+	}
+	req = append(req, 5, 5, 17, 250) // duplicates + all forwarded rows
+	batch := make([]RID, len(req))
+	for i, idx := range req {
+		batch[i] = rids[idx]
+	}
+
+	got := make([][]byte, len(req))
+	if err := h.GetBatchFunc(batch, func(i int, img []byte) error {
+		if got[i] != nil {
+			return fmt.Errorf("index %d delivered twice", i)
+		}
+		got[i] = append([]byte(nil), img...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range req {
+		if !bytes.Equal(got[i], imgs[idx]) {
+			t.Fatalf("batch[%d] (row %d): got %d bytes, want %d", i, idx, len(got[i]), len(imgs[idx]))
+		}
+	}
+	if pinned := p.PinnedPages(); len(pinned) != 0 {
+		t.Fatalf("batch read leaked pins: %v", pinned)
+	}
+
+	// GetBatch (copying wrapper) restores input order.
+	copies, err := h.GetBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range req {
+		if !bytes.Equal(copies[i], imgs[idx]) {
+			t.Fatalf("GetBatch[%d]: wrong image", i)
+		}
+	}
+
+	// The page-sorted batch read must pin each page once per run instead
+	// of once per row: fetching many same-page rows costs far fewer
+	// logical page requests than per-row Get.
+	p.ResetStats()
+	if _, err := h.GetBatch(rids[:64]); err != nil {
+		t.Fatal(err)
+	}
+	batchFetches := p.Stats().Fetches
+	p.ResetStats()
+	for _, rid := range rids[:64] {
+		if _, err := h.Get(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rowFetches := p.Stats().Fetches
+	if batchFetches*2 > rowFetches {
+		t.Errorf("batch read cost %d page fetches vs %d per-row; expected well under half", batchFetches, rowFetches)
+	}
+
+	// Empty batch is a no-op.
+	if err := h.GetBatchFunc(nil, func(int, []byte) error {
+		t.Error("callback on empty batch")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deleted row fails the whole batch, with no leaked pins.
+	if err := h.Delete(rids[30]); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.GetBatchFunc([]RID{rids[1], rids[30]}, func(int, []byte) error { return nil }); err == nil {
+		t.Error("batch read of deleted row succeeded")
+	}
+	if pinned := p.PinnedPages(); len(pinned) != 0 {
+		t.Fatalf("failed batch read leaked pins: %v", pinned)
+	}
+}
+
 func TestHeapTruncate(t *testing.T) {
 	p := newTestPager(t, 64)
 	h, _ := CreateHeap(p)

@@ -55,6 +55,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ErrAudit(),
 		Obscounter(),
 		CallbackContract(),
+		Batchcontract(),
 		Layering(DefaultLayeringConfig()),
 	}
 }

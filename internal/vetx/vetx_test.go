@@ -153,6 +153,18 @@ func TestCallbackContractSkipsNonCartridge(t *testing.T) {
 	}
 }
 
+func TestBatchcontract(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/exec", "batchcontract.go")
+	checkFindings(t, pkg, Batchcontract())
+}
+
+func TestBatchcontractSkipsNonExec(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/engine", "batchcontract.go")
+	if fs := Batchcontract().Run(pkg); len(fs) != 0 {
+		t.Errorf("batchcontract fired outside internal/exec: %v", fs)
+	}
+}
+
 // mapImporter resolves fixture import paths to pre-typechecked packages.
 type mapImporter map[string]*types.Package
 
