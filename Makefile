@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx
+RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec
 
 .PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch
 
@@ -9,6 +9,7 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags invariants ./...
 
 ## lint: run the codebase-specific static analyzers (cmd/vetx)
 lint:

@@ -88,6 +88,17 @@ type DB struct {
 	// writeTxn, guarded by gateMu, identifies the holder so statements of
 	// the same transaction (including callback sessions, which share it)
 	// re-enter without blocking.
+	//
+	// The intended global acquisition order — gate first, then the WAL,
+	// then the pager, backends last — is declared below; the lockorder
+	// analyzer checks every observed acquisition path against it and
+	// reports any cycle in the whole-program lock graph.
+	//
+	//vetx:lockorder engine.DB.writeGate < engine.DB.gateMu
+	//vetx:lockorder engine.DB.writeGate < engine.DB.walMu
+	//vetx:lockorder engine.DB.walMu < storage.Pager.mu
+	//vetx:lockorder storage.Pager.mu < storage.FileBackend.mu
+	//vetx:lockorder storage.Pager.mu < storage.MemBackend.mu
 	writeGate sync.Mutex
 	gateMu    sync.Mutex
 	writeTxn  *txn.Txn

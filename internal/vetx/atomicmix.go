@@ -1,0 +1,125 @@
+package vetx
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the atomicmix analyzer: a variable or struct field
+// accessed through the function-style sync/atomic API (atomic.AddInt64,
+// atomic.LoadUint32, ...) anywhere in a package must be accessed that way
+// everywhere — one plain read or write racing an atomic one is still a
+// data race, and the mixed pattern usually means someone forgot which
+// discipline the field uses. (The typed atomics — atomic.Int64 et al. —
+// make mixing impossible and are preferred; this catches the legacy form.)
+//
+// The check is per package: atomics are an implementation detail of the
+// owning package, and unexported fields can't leak. Initialization in a
+// constructor counts as a plain access too — the contract here is "always
+// atomic", which composite literals satisfy by zero value.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name:      "atomicmix",
+		Doc:       "a field accessed via sync/atomic must not also be accessed plainly",
+		NeedTypes: true,
+		Run:       runAtomicMix,
+	}
+}
+
+func runAtomicMix(pkg *Package) []Finding {
+	// Pass 1: objects passed by address to function-style sync/atomic
+	// calls, plus the source ranges of those arguments (so pass 2 can
+	// tell an atomic operand from a plain access).
+	atomicObjs := map[types.Object]token.Position{}
+	type span struct{ lo, hi token.Pos }
+	var atomicArgs []span
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedObject(pkg, addr.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = pkg.Fset.Position(addr.X.Pos())
+				}
+				atomicArgs = append(atomicArgs, span{addr.Pos(), addr.End()})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicArgs {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other use of those objects is a plain access.
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			atomicAt, tracked := atomicObjs[obj]
+			if !tracked || inAtomicArg(id.Pos()) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "atomicmix",
+				Pos:      pkg.Fset.Position(id.Pos()),
+				Message: fmt.Sprintf("%s is accessed with sync/atomic at %s but plainly here; every access must be atomic",
+					id.Name, trimPos(atomicAt)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// addressedObject resolves the variable or field behind an &-operand:
+// x.f (field selection) or x (variable).
+func addressedObject(pkg *Package, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Package-qualified var (pkg.Var).
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.ParenExpr:
+		return addressedObject(pkg, x.X)
+	case *ast.IndexExpr:
+		// &xs[i]: element identity is dynamic; track the slice/array
+		// object itself would over-approximate — skip.
+	}
+	return nil
+}

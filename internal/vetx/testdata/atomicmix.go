@@ -1,0 +1,37 @@
+// Fixture for the atomicmix analyzer: once a field or package variable is
+// touched through function-style sync/atomic, every access must be.
+package atomfix
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	plain int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Get() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *Counter) Race() int64 {
+	return c.hits // want:atomicmix
+}
+
+// plain is never touched atomically: ordinary access is fine.
+func (c *Counter) Bump() {
+	c.plain++
+}
+
+var total int64
+
+func AddTotal(d int64) {
+	atomic.AddInt64(&total, d)
+}
+
+func ReadTotal() int64 {
+	return total // want:atomicmix
+}

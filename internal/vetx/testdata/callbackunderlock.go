@@ -1,0 +1,51 @@
+// Fixture for the callbackunderlock analyzer: cartridge callbacks (calls
+// through an ODCI boundary interface) must not run under an engine mutex,
+// including when the lock was taken by a caller further up the chain.
+package cbulfix
+
+import "sync"
+
+// IndexMethods stands in for the extidx boundary interface; detection is
+// by interface name, so the fixture declares its own.
+type IndexMethods interface {
+	Start() error
+}
+
+type Runner struct {
+	mu sync.Mutex
+	im IndexMethods
+}
+
+// bad invokes the callback with mu held.
+func (r *Runner) bad() {
+	r.mu.Lock()
+	r.im.Start() // want:callbackunderlock
+	r.mu.Unlock()
+}
+
+// good releases before the callback.
+func (r *Runner) good() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.im.Start()
+}
+
+// outer holds mu across inner, which invokes the callback: the lock is
+// held two frames up.
+func (r *Runner) outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner()
+}
+
+func (r *Runner) inner() {
+	r.im.Start() // want:callbackunderlock
+}
+
+// spawn hands the callback to a fresh goroutine: the goroutine does not
+// inherit the caller's locks.
+func (r *Runner) spawn() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go r.im.Start()
+}

@@ -1,0 +1,63 @@
+// Fixture for the lockorder analyzer: a seeded two-mutex cycle reached
+// interprocedurally, an observed edge contradicting a declared order, and
+// a malformed directive. Locks h and i are acquired in a consistent order
+// everywhere and must stay silent.
+package lockordfix
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	x sync.Mutex
+	y sync.Mutex
+	h sync.Mutex
+	i sync.RWMutex
+}
+
+// f acquires a and reaches b through helper: edge a -> b.
+func (s *S) f() {
+	s.a.Lock()
+	s.helper()
+	s.a.Unlock()
+}
+
+func (s *S) helper() {
+	s.b.Lock() // want:lockorder  (cycle witness: b taken with a held via f)
+	s.b.Unlock()
+}
+
+// g acquires in the opposite order: edge b -> a closes the cycle.
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+//vetx:lockorder lockordfix.S.x < lockordfix.S.y
+
+// hOrder violates the declared x < y order.
+func (s *S) hOrder() {
+	s.y.Lock()
+	s.x.Lock() // want:lockorder
+	s.x.Unlock()
+	s.y.Unlock()
+}
+
+//vetx:lockorder malformed, no less-than, want:lockorder
+
+// consistent nests h then i everywhere: no finding.
+func (s *S) consistent() {
+	s.h.Lock()
+	defer s.h.Unlock()
+	s.i.RLock()
+	defer s.i.RUnlock()
+}
+
+func (s *S) consistent2() {
+	s.h.Lock()
+	s.i.Lock()
+	s.i.Unlock()
+	s.h.Unlock()
+}

@@ -1,0 +1,29 @@
+// Fixture for unused-suppression detection. One directive earns its keep
+// (it hides a real lockbalance finding), one names a running analyzer but
+// suppresses nothing, and one names an analyzer outside the run set (not
+// judged: a partial run can't know whether it would have matched).
+package supfix
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+}
+
+// used: the missing Unlock below is a genuine lockbalance finding,
+// reported at the closing brace.
+func (t *T) leaky() {
+	t.mu.Lock()
+	//vetx:ignore lockbalance -- fixture: exercising a used suppression
+}
+
+// unused: balanced code, nothing to suppress.
+//vetx:ignore lockbalance -- fixture: UNUSED directive with no matching finding
+func (t *T) balanced() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// not judged: erraudit is not part of this run.
+//vetx:ignore erraudit -- fixture: names an analyzer outside the run set
+func (t *T) other() {}

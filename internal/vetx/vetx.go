@@ -36,7 +36,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named check over a loaded package.
+// Analyzer is one named check over a loaded package, or — when RunProgram
+// is set — over the whole-program call graph built from every loaded
+// package at once.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -44,6 +46,10 @@ type Analyzer struct {
 	// skips them (with an error finding) when type checking failed.
 	NeedTypes bool
 	Run       func(pkg *Package) []Finding
+	// RunProgram marks an interprocedural analyzer: it receives the call
+	// graph over all packages (see BuildProgram) instead of one package at
+	// a time. Exactly one of Run and RunProgram is set.
+	RunProgram func(prog *Program) []Finding
 }
 
 // DefaultAnalyzers returns the full analyzer suite with the repo's
@@ -57,18 +63,35 @@ func DefaultAnalyzers() []*Analyzer {
 		CallbackContract(),
 		Batchcontract(),
 		Layering(DefaultLayeringConfig()),
+		LockOrder(),
+		CallbackUnderLock(),
+		ChunkAlias(),
+		AtomicMix(),
 	}
 }
 
 // Run applies the analyzers to every package, filters suppressed findings,
 // and returns the survivors sorted by position. Malformed suppression
-// directives are reported as findings of the pseudo-analyzer "vetx".
+// directives are reported as findings of the pseudo-analyzer "vetx", and so
+// is any directive that suppressed nothing (it names only analyzers in the
+// running set, yet no finding matched — dead suppressions rot).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	// Suppressions are collected globally: program-level analyzers emit
+	// findings across package boundaries, and unused-directive detection
+	// must see the full run either way.
+	sup := &suppressions{byLine: map[string]map[string]*directive{}}
 	for _, pkg := range pkgs {
-		sup, supFindings := collectSuppressions(pkg)
-		out = append(out, supFindings...)
-		for _, an := range analyzers {
+		out = append(out, sup.collect(pkg)...)
+	}
+
+	var programAnalyzers []*Analyzer
+	for _, an := range analyzers {
+		if an.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, an)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if an.NeedTypes && pkg.Info == nil {
 				continue
 			}
@@ -79,6 +102,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
+	if len(programAnalyzers) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, an := range programAnalyzers {
+			for _, f := range an.RunProgram(prog) {
+				if !sup.suppressed(an.Name, f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+
+	out = append(out, sup.unused(analyzers)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -97,22 +132,73 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 
 const ignoreDirective = "//vetx:ignore"
 
+// directive is one parsed //vetx:ignore comment; used tracks whether it
+// actually suppressed a finding this run.
+type directive struct {
+	pos   token.Position
+	names map[string]bool // "all" suppresses every analyzer
+	used  bool
+}
+
 type suppressions struct {
-	// byLine maps file:line to the set of suppressed analyzer names
-	// ("all" suppresses every analyzer).
-	byLine map[string]map[string]bool
+	// byLine maps file:line to the directives covering that line.
+	byLine map[string]map[string]*directive
+	all    []*directive
 }
 
 func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
 	set := s.byLine[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
-	return set != nil && (set[analyzer] || set["all"])
+	if set == nil {
+		return false
+	}
+	hit := false
+	for _, d := range []*directive{set[analyzer], set["all"]} {
+		if d != nil {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
-// collectSuppressions scans file comments for //vetx:ignore directives. A
-// directive suppresses findings on its own line (trailing comment) and on
-// the following line (standalone comment above the code).
-func collectSuppressions(pkg *Package) (*suppressions, []Finding) {
-	sup := &suppressions{byLine: map[string]map[string]bool{}}
+// unused reports directives that suppressed nothing. Only directives whose
+// named analyzers were all part of this run are judged — a partial run
+// (single-analyzer fixture tests, cmd/vetx with a subset) can't tell
+// whether another analyzer would have matched. "all" directives are never
+// reported; they are judged only by the full suite.
+func (s *suppressions) unused(analyzers []*Analyzer) []Finding {
+	running := map[string]bool{}
+	for _, an := range analyzers {
+		running[an.Name] = true
+	}
+	var out []Finding
+	for _, d := range s.all {
+		if d.used || d.names["all"] {
+			continue
+		}
+		covered := true
+		for n := range d.names {
+			if !running[n] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			out = append(out, Finding{
+				Analyzer: "vetx",
+				Pos:      d.pos,
+				Message:  "vetx:ignore directive suppresses nothing; remove it",
+			})
+		}
+	}
+	return out
+}
+
+// collect scans file comments for //vetx:ignore directives. A directive
+// suppresses findings on its own line (trailing comment) and on the
+// following line (standalone comment above the code). Malformed directives
+// are returned as findings.
+func (s *suppressions) collect(pkg *Package) []Finding {
 	var malformed []Finding
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -145,19 +231,21 @@ func collectSuppressions(pkg *Package) (*suppressions, []Finding) {
 					})
 					continue
 				}
+				d := &directive{pos: pos, names: set}
+				s.all = append(s.all, d)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if sup.byLine[key] == nil {
-						sup.byLine[key] = map[string]bool{}
+					if s.byLine[key] == nil {
+						s.byLine[key] = map[string]*directive{}
 					}
 					for n := range set {
-						sup.byLine[key][n] = true
+						s.byLine[key][n] = d
 					}
 				}
 			}
 		}
 	}
-	return sup, malformed
+	return malformed
 }
 
 // ---------------------------------------------------------------------------

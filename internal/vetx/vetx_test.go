@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -163,6 +164,91 @@ func TestBatchcontractSkipsNonExec(t *testing.T) {
 	if fs := Batchcontract().Run(pkg); len(fs) != 0 {
 		t.Errorf("batchcontract fired outside internal/exec: %v", fs)
 	}
+}
+
+func TestLockOrder(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/lockordfix", "lockorder.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	checkFindings(t, pkg, LockOrder())
+}
+
+// TestLockOrderCycleMessage pins the acceptance-critical behavior: the
+// seeded two-mutex cycle is reported as a deadlock candidate with both
+// acquisition paths.
+func TestLockOrderCycleMessage(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/lockordfix", "lockorder.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	var cycle *Finding
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{LockOrder()}) {
+		if strings.Contains(f.Message, "deadlock candidate") {
+			f := f
+			cycle = &f
+		}
+	}
+	if cycle == nil {
+		t.Fatal("seeded a->b->a cycle not reported")
+	}
+	for _, want := range []string{
+		"lockordfix.S.a -> lockordfix.S.b -> lockordfix.S.a",
+		"in (*S).helper",
+		"in (*S).g",
+	} {
+		if !strings.Contains(cycle.Message, want) {
+			t.Errorf("cycle message missing %q:\n%s", want, cycle.Message)
+		}
+	}
+}
+
+func TestCallbackUnderLock(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/cbulfix", "callbackunderlock.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	checkFindings(t, pkg, CallbackUnderLock())
+}
+
+func TestChunkAlias(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/chunkfix", "chunkalias.go")
+	checkFindings(t, pkg, ChunkAlias())
+}
+
+func TestAtomicMix(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/atomfix", "atomicmix.go")
+	typecheckFixture(t, pkg, importer.ForCompiler(pkg.Fset, "source", nil))
+	checkFindings(t, pkg, AtomicMix())
+}
+
+// TestUnusedSuppression: a directive that suppresses nothing is itself a
+// finding — but only when every analyzer it names took part in the run.
+func TestUnusedSuppression(t *testing.T) {
+	pkg := parseFixture(t, "repro/internal/supfix", "unusedsuppression.go")
+	var got []Finding
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{LockBalance()}) {
+		if f.Analyzer == "vetx" && strings.Contains(f.Message, "suppresses nothing") {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("want exactly one unused-suppression finding, got %v", got)
+	}
+	if got[0].Pos.Line != unusedSuppressionLine(t, pkg) {
+		t.Errorf("unused-suppression finding at line %d, want %d", got[0].Pos.Line, unusedSuppressionLine(t, pkg))
+	}
+}
+
+// unusedSuppressionLine finds the fixture line marked "UNUSED" so the test
+// doesn't hard-code line numbers.
+func unusedSuppressionLine(t *testing.T, pkg *Package) int {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "UNUSED") {
+					return pkg.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	t.Fatal("no UNUSED marker in fixture")
+	return 0
 }
 
 // mapImporter resolves fixture import paths to pre-typechecked packages.
