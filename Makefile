@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec
 
-.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch
+.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,10 @@ test:
 	$(GO) test ./...
 
 ## race: race detector + runtime invariant checks on the concurrency-bearing packages
+## (the engine suite alone runs ~10 minutes under -race on one core, so
+## the per-package timeout is raised above the 600s default)
 race:
-	$(GO) test -race -tags invariants $(RACE_PKGS)
+	$(GO) test -race -tags invariants -timeout 1200s $(RACE_PKGS)
 
 ## crash: fault-injection crash-recovery matrix (every crash point, torn writes)
 crash:
@@ -31,10 +33,10 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 20s ./internal/sql
 
 ## obs-smoke: run a reduced experiment sweep and fail if any required
-## engine counter (pager, txn, planner, ODCI fetch) stayed at zero —
-## catches silently disconnected instrumentation
+## engine counter (pager, txn, planner, ODCI fetch, parallel exec)
+## stayed at zero — catches silently disconnected instrumentation
 obs-smoke:
-	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8 -json -smoke > /dev/null
+	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1 -json -smoke > /dev/null
 
 ## check: everything CI runs
 check: build vet lint test race crash obs-smoke
@@ -46,3 +48,8 @@ bench:
 ## batch-first executor, one JSON metrics snapshot per batch size
 bench-batch:
 	$(GO) run ./cmd/benchrunner -only B1 -json
+
+## bench-parallel: parallel-degree sweep, morsel-driven scan/aggregate
+## vs serial, one JSON metrics snapshot per degree
+bench-parallel:
+	$(GO) run ./cmd/benchrunner -only P1 -json

@@ -69,15 +69,18 @@ func main() {
 		{"E10", bench.E10CollectionIndex},
 		{"A1", bench.A1CallbacksVsDirect},
 		{"B1", bench.BatchSweep},
+		{"P1", bench.ParallelSweep},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	var total engine.Metrics
+	ran := map[string]bool{}
 	totalStart := time.Now()
 	bench.TakeMetrics() // discard anything accumulated before the sweep
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
+		ran[e.id] = true
 		start := time.Now()
 		t := e.f(cfg)
 		wall := time.Since(start)
@@ -109,7 +112,7 @@ func main() {
 		fmt.Printf("all experiments done in %v\n", time.Since(totalStart).Round(time.Millisecond))
 	}
 	if *smoke {
-		if err := smokeCheck(total); err != nil {
+		if err := smokeCheck(total, ran["P1"]); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner: smoke check FAILED:", err)
 			os.Exit(1)
 		}
@@ -120,7 +123,7 @@ func main() {
 // smokeCheck validates that the instrumented engine actually observed
 // the activity the experiments must have generated. A zero here means a
 // counter was disconnected, not that the workload was idle.
-func smokeCheck(m engine.Metrics) error {
+func smokeCheck(m engine.Metrics, ranParallel bool) error {
 	if m.Pager.Fetches == 0 {
 		return fmt.Errorf("pager fetches = 0 (buffer-pool counters disconnected)")
 	}
@@ -136,6 +139,17 @@ func smokeCheck(m engine.Metrics) error {
 	fetch := m.ODCI.Callbacks["ODCIIndexFetch"]
 	if fetch.Calls == 0 {
 		return fmt.Errorf("ODCIIndexFetch calls = 0 (ODCI-boundary counters disconnected)")
+	}
+	if ranParallel {
+		if m.Exec.Exchanges == 0 {
+			return fmt.Errorf("exchanges = 0 (parallel-executor counters disconnected)")
+		}
+		if m.Exec.MorselsDispatched == 0 {
+			return fmt.Errorf("morsels dispatched = 0 (morsel counters disconnected)")
+		}
+		if m.Exec.WorkerBusyNanos == 0 {
+			return fmt.Errorf("worker busy time = 0 (worker counters disconnected)")
+		}
 	}
 	return nil
 }

@@ -5,7 +5,8 @@
 //
 //	extsql [-db path] [-f script.sql]
 //
-// Meta commands: \tables, \plan <query>, \stats, \batch [n], \quit.
+// Meta commands: \tables, \plan <query>, \stats, \batch [n],
+// \parallel [n|auto], \quit.
 package main
 
 import (
@@ -124,10 +125,29 @@ func meta(db *extdb.DB, s *extdb.Session, cmd string) bool {
 			break
 		}
 		db.DefaultFetchBatch = n
+	case cmd == `\parallel`:
+		if n := s.Parallel(); n > 1 {
+			fmt.Printf("parallel degree: %d\n", n)
+		} else {
+			fmt.Println("parallel degree: 1 (serial)")
+		}
+	case strings.HasPrefix(cmd, `\parallel `):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\parallel `))
+		if arg == "auto" {
+			s.SetParallel(0)
+			fmt.Printf("parallel degree: %d (auto = GOMAXPROCS)\n", s.Parallel())
+			break
+		}
+		var n int
+		if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n < 0 {
+			fmt.Println(`usage: \parallel [n|auto]   (n > 1 enables parallel scans, 1 = serial, auto = GOMAXPROCS)`)
+			break
+		}
+		s.SetParallel(n)
 	case cmd == `\stats`:
 		fmt.Print(db.Metrics().String())
 	default:
-		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\batch [n], \\quit")
+		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\batch [n], \\parallel [n|auto], \\quit")
 	}
 	return true
 }

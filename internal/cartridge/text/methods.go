@@ -197,6 +197,62 @@ func (Methods) Start(s extidx.Server, info extidx.IndexInfo, call extidx.Operato
 	return extidx.StateValue{V: st}, nil
 }
 
+// StartParallel implements the optional extidx.ParallelMethods
+// extension. All server-callback work — evaluating the boolean
+// expression against the inverted index — happens here, eagerly
+// (partitioning requires the full result set, so lazy mode does not
+// apply); the sorted (rid, score) arrays are then split into up to
+// maxParts contiguous slices, one independent scan partition each.
+// Partition Fetch and Close touch only their own slice and never call
+// back into the server, satisfying the ParallelMethods contract.
+// Partitions always use the value transport: handles would route every
+// worker through the shared workspace for no benefit, since the state
+// is already materialized.
+func (Methods) StartParallel(s extidx.Server, info extidx.IndexInfo, call extidx.OperatorCall, maxParts int) ([]extidx.ScanState, error) {
+	if !call.WantsTrue() {
+		return nil, fmt.Errorf("text: Contains predicates must compare the operator to 1")
+	}
+	if len(call.Args) != 1 {
+		return nil, fmt.Errorf("text: Contains takes (column, query)")
+	}
+	tz, _, err := tokenizerFor(info)
+	if err != nil {
+		return nil, err
+	}
+	q, err := ParseQuery(call.Args[0].Text(), tz)
+	if err != nil {
+		return nil, err
+	}
+	st := &scanState{}
+	if err := evaluate(s, info, q, st); err != nil {
+		return nil, err
+	}
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	per := (len(st.rids) + maxParts - 1) / maxParts
+	if per < 1 {
+		per = 1
+	}
+	parts := []extidx.ScanState{}
+	for lo := 0; lo < len(st.rids); lo += per {
+		hi := lo + per
+		if hi > len(st.rids) {
+			hi = len(st.rids)
+		}
+		parts = append(parts, extidx.StateValue{V: &scanState{
+			rids:   st.rids[lo:hi],
+			scores: st.scores[lo:hi],
+		}})
+	}
+	if len(parts) == 0 {
+		// Empty result: one empty partition keeps the exchange protocol
+		// uniform (Fetch returns Done immediately).
+		parts = append(parts, extidx.StateValue{V: &scanState{}})
+	}
+	return parts, nil
+}
+
 // evaluate runs the boolean expression against the inverted index via
 // SQL callbacks and fills the state with (rid, score) pairs sorted by
 // descending score (ties by rid).

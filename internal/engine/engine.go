@@ -112,6 +112,12 @@ type DB struct {
 	planner obs.PlannerStats
 	odci    obs.ODCIStats
 
+	// execStats aggregates parallel-execution activity: exchanges
+	// started, morsels dispatched to workers, cumulative worker busy
+	// time. Exchange operators feed it from worker goroutines (the
+	// counters are atomic).
+	execStats obs.ExecStats
+
 	selects       obs.Counter // SELECTs executed (any session)
 	tracedQueries obs.Counter // SELECTs run with a QueryTrace attached
 	slowQueries   obs.Counter // traces handed to the slow-query hook

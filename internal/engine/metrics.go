@@ -46,6 +46,7 @@ type Metrics struct {
 	Planner   obs.PlannerSnapshot
 	ODCI      obs.ODCISnapshot
 	Engine    EngineStats
+	Exec      obs.ExecSnapshot
 	Workspace WorkspaceStats
 }
 
@@ -65,6 +66,7 @@ func (db *DB) Metrics() Metrics {
 			GateWaitNanos: db.gateWaitNanos.Load(),
 			FetchCalls:    db.FetchCalls(),
 		},
+		Exec:      db.execStats.Snapshot(),
 		Workspace: WorkspaceStats{Live: live, HighWater: high},
 	}
 }
@@ -82,6 +84,7 @@ func (db *DB) ResetMetrics() {
 	db.slowQueries.Store(0)
 	db.gateWaits.Store(0)
 	db.gateWaitNanos.Store(0)
+	db.execStats.Reset()
 	db.ResetFetchCalls()
 }
 
@@ -113,6 +116,8 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Pager.WALCommits += o.Pager.WALCommits
 	m.Pager.WALBytes += o.Pager.WALBytes
 	m.Pager.WALSyncs += o.Pager.WALSyncs
+	m.Pager.LockWaits += o.Pager.LockWaits
+	m.Pager.LockWaitNanos += o.Pager.LockWaitNanos
 	m.Txn.Begins += o.Txn.Begins
 	m.Txn.Commits += o.Txn.Commits
 	m.Txn.Rollbacks += o.Txn.Rollbacks
@@ -124,6 +129,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Engine.GateWaits += o.Engine.GateWaits
 	m.Engine.GateWaitNanos += o.Engine.GateWaitNanos
 	m.Engine.FetchCalls += o.Engine.FetchCalls
+	m.Exec.Merge(o.Exec)
 	if o.Workspace.Live > m.Workspace.Live {
 		m.Workspace.Live = o.Workspace.Live
 	}
@@ -140,6 +146,8 @@ func (m Metrics) String() string {
 		m.Pager.Fetches, m.Pager.Hits, m.Pager.Misses, m.Pager.HitRate()*100)
 	fmt.Fprintf(&b, "         writes=%d evictions=%d allocs=%d\n",
 		m.Pager.Writes, m.Pager.Evictions, m.Pager.Allocs)
+	fmt.Fprintf(&b, "         lockWaits=%d lockWaitTime=%s\n",
+		m.Pager.LockWaits, time.Duration(m.Pager.LockWaitNanos).Round(time.Microsecond))
 	fmt.Fprintf(&b, "wal:     records=%d pages=%d commits=%d bytes=%d syncs=%d\n",
 		m.Pager.WALRecords, m.Pager.WALPages, m.Pager.WALCommits, m.Pager.WALBytes, m.Pager.WALSyncs)
 	fmt.Fprintf(&b, "txn:     begins=%d commits=%d rollbacks=%d\n",
@@ -148,6 +156,7 @@ func (m Metrics) String() string {
 		m.Engine.Selects, m.Engine.TracedQueries, m.Engine.SlowQueries, m.Engine.FetchCalls)
 	fmt.Fprintf(&b, "         write-gate waits=%d waitTime=%s\n",
 		m.Engine.GateWaits, time.Duration(m.Engine.GateWaitNanos).Round(time.Microsecond))
+	fmt.Fprintf(&b, "exec:    %s\n", m.Exec.String())
 	fmt.Fprintf(&b, "planner: plans=%d candidates=%d", m.Planner.Plans, m.Planner.Candidates)
 	if len(m.Planner.ChosenByKind) > 0 {
 		kinds := make([]string, 0, len(m.Planner.ChosenByKind))

@@ -231,7 +231,29 @@ type accessPath struct {
 	sel      float64 // predicate selectivity behind estRows; < 0 unknown
 	batch    int     // fetch/chunk batch size picked for the scan; 0 = n/a
 	consumed int     // index into conjuncts consumed by this path, -1 = none
+	parallel int     // degree the access will run at; <= 1 serial
 	build    func() (exec.Iterator, error)
+
+	// Parallel eligibility — at most one is set. parHeap marks a full
+	// scan splittable into page-range morsels; parDom carries what
+	// buildParallelTableAccess needs to open partitioned ODCI scans on a
+	// cartridge implementing extidx.ParallelMethods. Paths with neither
+	// always build serially.
+	parHeap *storage.Heap
+	parDom  *domainParallel
+}
+
+// domainParallel is the parallel-eligibility record of a DOMAIN path:
+// everything needed to open one ODCI scan partition per morsel outside
+// the serial build closure.
+type domainParallel struct {
+	pm    extidx.ParallelMethods
+	m     extidx.IndexMethods
+	info  extidx.IndexInfo
+	call  extidx.OperatorCall
+	table string
+	heap  *storage.Heap
+	batch int
 }
 
 // pickFetchBatch chooses the ODCI Fetch batch size (= chunk size) for a
@@ -275,6 +297,7 @@ func (s *Session) fullScanPath(tb *tableBinding) accessPath {
 		sel:      1,
 		batch:    exec.DefaultChunkSize,
 		consumed: -1,
+		parHeap:  tb.tbl.Heap,
 		build: func() (exec.Iterator, error) {
 			return exec.NewHeapScan(tb.tbl.Heap)
 		},
@@ -576,7 +599,7 @@ func (s *Session) domainPaths(tb *tableBinding, conjuncts []sql.Expr, params []t
 				}
 			}
 			batch := pickFetchBatch(s.db.DefaultFetchBatch, sel*rows)
-			out = append(out, accessPath{
+			ap := accessPath{
 				kind:     "DOMAIN",
 				desc:     fmt.Sprintf("DOMAIN INDEX %s (%s via %s)", strings.ToUpper(ix.Name), pred.opName, ix.IndexType),
 				cost:     cost.Total(),
@@ -597,7 +620,19 @@ func (s *Session) domainPaths(tb *tableBinding, conjuncts []sql.Expr, params []t
 						PerRow:    s.rowMode,
 					}, nil
 				},
-			})
+			}
+			// Parallel-eligible only when the cartridge opts in via
+			// ParallelMethods and the predicate carries no ancillary
+			// label: ancillary values flow through the session's
+			// unsynchronized per-row store, which worker goroutines
+			// must not touch.
+			if pm, ok := m.(extidx.ParallelMethods); ok && pred.label == 0 {
+				ap.parDom = &domainParallel{
+					pm: pm, m: m, info: info, call: call,
+					table: ix.Table, heap: tb.tbl.Heap, batch: batch,
+				}
+			}
+			out = append(out, ap)
 		}
 	}
 	return out
@@ -698,28 +733,44 @@ func (s *Session) choosePath(tb *tableBinding, conjuncts []sql.Expr, params []ty
 
 // buildTableAccess assembles the iterator for one table: chosen access
 // path plus residual filters, returning also the chosen path for EXPLAIN.
+// Always serial — joins and DML scans use it; the single-table SELECT
+// branch goes through buildParallelTableAccess instead.
 func (s *Session) buildTableAccess(tb *tableBinding, conjuncts []sql.Expr, params []types.Value) (exec.Iterator, accessPath, error) {
 	path := s.choosePath(tb, conjuncts, params)
+	it, err := s.assembleSerialAccess(tb, path, conjuncts, params)
+	return it, path, err
+}
+
+// assembleSerialAccess builds the chosen path's iterator with residual
+// filters stacked above it, all on the calling goroutine.
+func (s *Session) assembleSerialAccess(tb *tableBinding, path accessPath, conjuncts []sql.Expr, params []types.Value) (exec.Iterator, error) {
 	it, err := path.build()
 	if err != nil {
-		return nil, path, err
+		return nil, err
 	}
 	it = s.instrScan(it, path)
-	var residual []sql.Expr
-	for i, e := range conjuncts {
-		if i != path.consumed {
-			residual = append(residual, e)
-		}
-	}
+	residual := residualConjuncts(conjuncts, path.consumed)
 	if len(residual) > 0 {
 		pred, err := s.compileConjuncts(residual, tb.schema, params)
 		if err != nil {
-			return nil, path, errors.Join(err, it.Close())
+			return nil, errors.Join(err, it.Close())
 		}
 		it = &exec.Filter{Child: it, Pred: pred}
 		it = s.instr(it, fmt.Sprintf("FILTER (%d predicates)", len(residual)), -1)
 	}
-	return it, path, nil
+	return it, nil
+}
+
+// residualConjuncts returns the conjuncts the access path did not
+// consume — the predicates that must be filtered above the scan.
+func residualConjuncts(conjuncts []sql.Expr, consumed int) []sql.Expr {
+	var out []sql.Expr
+	for i, e := range conjuncts {
+		if i != consumed {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func (s *Session) compileConjuncts(conjuncts []sql.Expr, schema *exec.Schema, params []types.Value) (exec.Compiled, error) {

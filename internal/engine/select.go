@@ -183,31 +183,10 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 	}
 	conjuncts := splitConjuncts(sel.Where)
 
-	var it exec.Iterator
-	var schema *exec.Schema
-	var descs []string
-	if len(tbs) == 1 {
-		var path accessPath
-		var err error
-		it, path, err = s.buildTableAccess(tbs[0], conjuncts, params)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		schema = tbs[0].schema
-		costLine := fmt.Sprintf("  cost=%.2f estRows=%.1f", path.cost, path.estRows)
-		if path.batch > 0 {
-			costLine += fmt.Sprintf(" batch=%d", path.batch)
-		}
-		descs = []string{path.desc, costLine}
-	} else {
-		var err error
-		it, schema, descs, err = s.planJoin(tbs, conjuncts, params)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-	}
-
-	// Aggregation stage.
+	// Aggregation is detected before the access path is built: a
+	// parallel single-table access pushes the aggregate's partial half
+	// into the exchange workers, so the compiled aggregate must exist
+	// when the access is assembled.
 	hasAgg := len(sel.GroupBy) > 0
 	for _, item := range sel.Items {
 		if !item.Star && containsAggregate(item.Expr) {
@@ -217,14 +196,55 @@ func (s *Session) planSelect(sel *sql.Select, params []types.Value) (exec.Iterat
 	if sel.Having != nil {
 		hasAgg = true
 	}
-	if hasAgg {
-		var err error
-		it, schema, sel, err = s.buildAggregate(it, schema, sel, params)
-		if err != nil {
-			return nil, nil, nil, errors.Join(err, it.Close())
+
+	var it exec.Iterator
+	var schema *exec.Schema
+	var descs []string
+	if len(tbs) == 1 {
+		var agg *aggPlan
+		if hasAgg {
+			var err error
+			agg, sel, err = s.compileAggregate(tbs[0].schema, sel, params)
+			if err != nil {
+				return nil, nil, nil, err
+			}
 		}
-		descs = append(descs, "HASH GROUP BY")
-		it = s.instr(it, "HASH GROUP BY", -1)
+		var path accessPath
+		var aggPushed bool
+		var err error
+		it, path, aggPushed, err = s.buildParallelTableAccess(tbs[0], conjuncts, params, agg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		schema = tbs[0].schema
+		costLine := fmt.Sprintf("  cost=%.2f estRows=%.1f", path.cost, path.estRows)
+		if path.batch > 0 {
+			costLine += fmt.Sprintf(" batch=%d", path.batch)
+		}
+		if path.parallel > 1 {
+			costLine += fmt.Sprintf(" parallel=%d", path.parallel)
+		}
+		descs = []string{path.desc, costLine}
+		if hasAgg {
+			it = applyAggregate(it, agg, aggPushed)
+			schema = agg.schema
+			descs = append(descs, "HASH GROUP BY")
+			it = s.instr(it, "HASH GROUP BY", -1)
+		}
+	} else {
+		var err error
+		it, schema, descs, err = s.planJoin(tbs, conjuncts, params)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if hasAgg {
+			it, schema, sel, err = s.buildAggregate(it, schema, sel, params)
+			if err != nil {
+				return nil, nil, nil, errors.Join(err, it.Close())
+			}
+			descs = append(descs, "HASH GROUP BY")
+			it = s.instr(it, "HASH GROUP BY", -1)
+		}
 	}
 
 	// Projection list.
@@ -342,14 +362,24 @@ func (s *Session) instr(it exec.Iterator, desc string, estRows float64) exec.Ite
 }
 
 // instrScan is instr for a table-access operator: the node additionally
-// records the batch size the planner chose for the scan, so EXPLAIN
-// ANALYZE shows batch=<n> per scan operator.
+// records the batch size and degree of parallelism the planner chose,
+// so EXPLAIN ANALYZE shows batch=<n> (and parallel=<n>) per scan
+// operator. For an exchange the node is also handed to the operator
+// itself: the enclosing Instrument keeps consumer-side wall time and
+// row counts on the node, while the exchange merges its per-worker
+// sub-nodes (busy time, morsels) into it at Close.
 func (s *Session) instrScan(it exec.Iterator, path accessPath) exec.Iterator {
 	if s.trace == nil {
 		return it
 	}
 	n := s.trace.Node(path.desc, path.estRows)
 	n.BatchSize = path.batch
+	if path.parallel > 1 {
+		n.Parallel = path.parallel
+		if ex, ok := it.(*exec.Exchange); ok {
+			ex.Node = n
+		}
+	}
 	return &exec.Instrument{Child: it, Node: n}
 }
 
@@ -376,17 +406,61 @@ func itemName(item sql.SelectItem, i int) string {
 	}
 }
 
+// aggPlan is a compiled aggregation stage: group-key and aggregate
+// expressions compiled against the input schema, the aggregate output
+// schema (G<i>/A<j> columns), and the compiled HAVING filter over that
+// output. compileAggregate produces it; applyAggregate stacks it on an
+// iterator — as a whole serial HashAggregate, or as the FromPartial
+// merge half when exchange workers already ran the partial half.
+type aggPlan struct {
+	groupC []exec.Compiled
+	specs  []exec.AggSpec
+	schema *exec.Schema
+	having exec.Compiled
+}
+
 // buildAggregate inserts the HashAggregate stage and rewrites the select
 // list, HAVING and ORDER BY to reference its output (G<i>/A<j> columns).
 // It returns the rewritten Select (a copy) to keep the caller's pipeline
 // logic uniform.
 func (s *Session) buildAggregate(it exec.Iterator, schema *exec.Schema, sel *sql.Select, params []types.Value) (exec.Iterator, *exec.Schema, *sql.Select, error) {
+	agg, out, err := s.compileAggregate(schema, sel, params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return applyAggregate(it, agg, false), agg.schema, out, nil
+}
+
+// applyAggregate stacks the aggregation stage on it. When the partial
+// half already ran inside exchange workers (partial true), the operator
+// becomes a FromPartial merge whose group keys are identity projections
+// of the partial rows' leading key columns; otherwise it is the
+// ordinary serial HashAggregate. The HAVING filter sits above either.
+func applyAggregate(it exec.Iterator, agg *aggPlan, partial bool) exec.Iterator {
+	ha := &exec.HashAggregate{Child: it, Specs: agg.specs}
+	if partial {
+		ha.GroupBy = identityExprs(len(agg.groupC))
+		ha.FromPartial = true
+	} else {
+		ha.GroupBy = agg.groupC
+	}
+	var out exec.Iterator = ha
+	if agg.having != nil {
+		out = &exec.Filter{Child: out, Pred: agg.having}
+	}
+	return out
+}
+
+// compileAggregate compiles the aggregation stage against the input
+// schema and rewrites the select list, HAVING and ORDER BY to reference
+// its output, returning the rewritten Select (a copy).
+func (s *Session) compileAggregate(schema *exec.Schema, sel *sql.Select, params []types.Value) (*aggPlan, *sql.Select, error) {
 	// Compile group-by expressions against the input schema.
 	groupC := make([]exec.Compiled, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		c, err := exec.Compile(g, schema, s, params)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		groupC[i] = c
 	}
@@ -396,7 +470,7 @@ func (s *Session) buildAggregate(it exec.Iterator, schema *exec.Schema, sel *sql
 	out.Items = make([]sql.SelectItem, len(sel.Items))
 	for i, item := range sel.Items {
 		if item.Star {
-			return nil, nil, nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregation")
+			return nil, nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregation")
 		}
 		ni := item
 		if ni.Alias == "" {
@@ -424,22 +498,21 @@ func (s *Session) buildAggregate(it exec.Iterator, schema *exec.Schema, sel *sql
 		kind := aggFns[strings.ToUpper(c.Name)]
 		if c.Star {
 			if kind != exec.AggCount {
-				return nil, nil, nil, fmt.Errorf("engine: %s(*) is not valid", c.Name)
+				return nil, nil, fmt.Errorf("engine: %s(*) is not valid", c.Name)
 			}
 			aggSpecs[j] = exec.AggSpec{Kind: exec.AggCountStar}
 			continue
 		}
 		if len(c.Args) != 1 {
-			return nil, nil, nil, fmt.Errorf("engine: aggregate %s takes one argument", c.Name)
+			return nil, nil, fmt.Errorf("engine: aggregate %s takes one argument", c.Name)
 		}
 		ac, err := exec.Compile(c.Args[0], schema, s, params)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		aggSpecs[j] = exec.AggSpec{Kind: kind, Arg: ac}
 	}
 
-	agg := &exec.HashAggregate{Child: it, GroupBy: groupC, Specs: aggSpecs}
 	aggSchema := &exec.Schema{}
 	for i := range sel.GroupBy {
 		aggSchema.Cols = append(aggSchema.Cols, exec.SchemaCol{Name: fmt.Sprintf("G%d", i)})
@@ -447,13 +520,13 @@ func (s *Session) buildAggregate(it exec.Iterator, schema *exec.Schema, sel *sql
 	for j := range specs {
 		aggSchema.Cols = append(aggSchema.Cols, exec.SchemaCol{Name: fmt.Sprintf("A%d", j)})
 	}
-	var result exec.Iterator = agg
+	plan := &aggPlan{groupC: groupC, specs: aggSpecs, schema: aggSchema}
 	if havingRewritten != nil {
 		pred, err := exec.Compile(havingRewritten, aggSchema, s, params)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
-		result = &exec.Filter{Child: result, Pred: pred}
+		plan.having = pred
 	}
-	return result, aggSchema, &out, nil
+	return plan, &out, nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -55,6 +56,13 @@ type Session struct {
 	// batch-sweep benchmark compares against (see SetRowMode).
 	rowMode bool
 
+	// parallel is the session's requested degree of parallelism for
+	// eligible table accesses (see SetParallel). <= 1 means serial — the
+	// default, so existing single-threaded behavior is opt-out of
+	// nothing; the planner may still drop an eligible scan to serial
+	// (small estimate, row mode, ancillary labels).
+	parallel int
+
 	// trace, while non-nil, is the active query trace: the planner
 	// appends costed candidates to it and wraps operators in
 	// exec.Instrument nodes. pendingTrace stages a trace for the next
@@ -77,6 +85,31 @@ func (s *Session) DB() *DB { return s.db }
 // It exists so benchmarks and tests can compare the volcano baseline
 // against the batch path; normal sessions leave it off.
 func (s *Session) SetRowMode(on bool) { s.rowMode = on }
+
+// SetParallel sets the session's degree of parallelism for eligible
+// table accesses. n <= 1 (1 is the default) keeps every plan serial.
+// n > 1 lets the planner run full heap scans and partitioned domain
+// scans behind an exchange with up to n workers, capped at GOMAXPROCS.
+// n == 0 means "auto": use GOMAXPROCS. Parallel plans return rows in
+// nondeterministic order unless the query has an ORDER BY; the degree
+// actually chosen per scan appears as parallel=<n> in EXPLAIN output.
+func (s *Session) SetParallel(n int) {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.parallel = n
+}
+
+// Parallel reports the session's requested degree of parallelism.
+func (s *Session) Parallel() int {
+	if s.parallel < 1 {
+		return 1
+	}
+	return s.parallel
+}
 
 // ---------------------------------------------------------------------------
 // Transaction plumbing

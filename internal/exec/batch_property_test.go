@@ -79,7 +79,13 @@ var joinInnerRows = []Row{{types.Int(100)}, {types.Int(200)}}
 
 // buildPlan stacks the scripted operators over a fresh Slice source.
 func buildPlan(ops []planOp, base []Row) Iterator {
-	var it Iterator = &Slice{Rows: base}
+	return stackPlanOps(ops, &Slice{Rows: base})
+}
+
+// stackPlanOps stacks the scripted operators over an arbitrary child —
+// the parallel parity test reuses it to build per-morsel worker
+// pipelines and the serial gather above an Exchange.
+func stackPlanOps(ops []planOp, it Iterator) Iterator {
 	for _, o := range ops {
 		switch o.kind {
 		case 'F':

@@ -40,6 +40,28 @@ func NewHeapScan(h *storage.Heap) (*HeapScan, error) {
 	return s, nil
 }
 
+// NewHeapRangeScan is NewHeapScan restricted to one page range — the
+// per-morsel row source of a parallel heap scan. Each morsel
+// materializes only its own range, so memory stays bounded by morsel
+// size times the worker count rather than by the table, and the decode
+// work (the CPU part of a scan) lands on the worker goroutine.
+func NewHeapRangeScan(h *storage.Heap, pages []storage.PageID) (*HeapScan, error) {
+	s := &HeapScan{}
+	err := h.ScanPages(pages, func(rid storage.RID, img []byte) (bool, error) {
+		row, _, err := types.DecodeRow(img)
+		if err != nil {
+			return false, err
+		}
+		row = append(row, types.Int(rid.Int64()))
+		s.rows = append(s.rows, row)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // NextBatch implements Iterator.
 func (s *HeapScan) NextBatch(c *Chunk) error {
 	c.Reset()
@@ -551,6 +573,13 @@ type DomainScan struct {
 	// pair. Engine-wide totals come from the ODCI boundary observer
 	// (obs.ODCIStats), not from threading a DB counter into every scan.
 	Fetches obs.Counter
+	// Pre, when PreStarted, is a scan partition opened up front by
+	// ODCIIndexStartParallel (extidx.ParallelMethods): NextBatch skips
+	// Start and fetches from it directly. Close still runs
+	// ODCIIndexClose on the partition even if it was never fetched, so
+	// an exchange draining unpulled morsels releases cartridge state.
+	Pre        extidx.ScanState
+	PreStarted bool
 
 	started bool
 	state   extidx.ScanState
@@ -564,11 +593,15 @@ type DomainScan struct {
 func (d *DomainScan) NextBatch(c *Chunk) error {
 	c.Reset()
 	if !d.started {
-		st, err := d.Methods.Start(d.Server, d.Info, d.Call)
-		if err != nil {
-			return fmt.Errorf("ODCIIndexStart(%s): %w", d.Info.IndexName, err)
+		if d.PreStarted {
+			d.state = d.Pre
+		} else {
+			st, err := d.Methods.Start(d.Server, d.Info, d.Call)
+			if err != nil {
+				return fmt.Errorf("ODCIIndexStart(%s): %w", d.Info.IndexName, err)
+			}
+			d.state = st
 		}
-		d.state = st
 		d.started = true
 	}
 	for {
@@ -646,9 +679,15 @@ func (d *DomainScan) emitOne(c *Chunk) error {
 
 // Close implements Iterator.
 func (d *DomainScan) Close() error {
-	if d.started {
-		d.started = false
-		if err := d.Methods.Close(d.Server, d.state); err != nil {
+	st, open := d.state, d.started
+	if !open && d.PreStarted {
+		// Never fetched, but the partition was opened by StartParallel;
+		// it still owes the cartridge an ODCIIndexClose.
+		st, open = d.Pre, true
+	}
+	d.started, d.PreStarted = false, false
+	if open {
+		if err := d.Methods.Close(d.Server, st); err != nil {
 			return fmt.Errorf("ODCIIndexClose(%s): %w", d.Info.IndexName, err)
 		}
 	}
@@ -680,13 +719,27 @@ type AggSpec struct {
 // HashAggregate groups child rows by the group-key expressions and
 // computes the aggregates; output rows are group keys followed by
 // aggregate values, in specification order.
+//
+// For partitioned (parallel) aggregation the operator splits into two
+// halves. A Partial instance runs inside each exchange worker and emits
+// raw group states instead of final values: each output row is the
+// group keys followed by four columns per spec — count, sum, min, max
+// (min/max NULL while unfilled). A FromPartial instance above the
+// exchange re-groups those rows (its GroupBy must project the key
+// columns) and merges the states — counts and sums add, min/max fold —
+// before the usual finalization, so AVG and NULL-on-empty semantics
+// come out identical to the serial operator.
 type HashAggregate struct {
-	Child     Iterator
-	GroupBy   []Compiled
-	Specs     []AggSpec
-	out       []Row
-	pos       int
-	evaluated bool
+	Child   Iterator
+	GroupBy []Compiled
+	Specs   []AggSpec
+	// Partial emits per-group partial states (see type comment).
+	Partial bool
+	// FromPartial merges partial-state child rows (see type comment).
+	FromPartial bool
+	out         []Row
+	pos         int
+	evaluated   bool
 }
 
 type aggState struct {
@@ -749,6 +802,10 @@ func (h *HashAggregate) evaluate(batch int) error {
 				groups[gk] = st
 				order = append(order, gk)
 			}
+			if h.FromPartial {
+				h.mergePartial(st, r)
+				continue
+			}
 			for i, spec := range h.Specs {
 				if spec.Kind == AggCountStar {
 					st.count[i]++
@@ -791,6 +848,10 @@ func (h *HashAggregate) evaluate(batch int) error {
 	}
 	for _, gk := range order {
 		st := groups[gk]
+		if h.Partial {
+			h.out = append(h.out, partialRow(st, len(h.Specs)))
+			continue
+		}
 		row := make(Row, 0, len(st.keys)+len(h.Specs))
 		row = append(row, st.keys...)
 		for i, spec := range h.Specs {
@@ -826,6 +887,47 @@ func (h *HashAggregate) evaluate(batch int) error {
 		h.out = append(h.out, row)
 	}
 	return nil
+}
+
+// partialRow renders one group's raw state: keys, then per spec
+// [count, sum, min, max] with min/max NULL while unfilled.
+func partialRow(st *aggState, nSpecs int) Row {
+	row := make(Row, 0, len(st.keys)+4*nSpecs)
+	row = append(row, st.keys...)
+	for i := 0; i < nSpecs; i++ {
+		row = append(row, types.Int(st.count[i]), types.Num(st.sum[i]))
+		if st.filled[i] {
+			row = append(row, st.minv[i], st.maxv[i])
+		} else {
+			row = append(row, types.Null(), types.Null())
+		}
+	}
+	return row
+}
+
+// mergePartial folds one partial-state row (keys at the front, four
+// state columns per spec after them) into the group state.
+func (h *HashAggregate) mergePartial(st *aggState, r Row) {
+	for i := range h.Specs {
+		base := len(h.GroupBy) + 4*i
+		st.count[i] += r[base].Int64()
+		st.sum[i] += r[base+1].Float()
+		mn, mx := r[base+2], r[base+3]
+		if mn.IsNull() {
+			continue
+		}
+		if !st.filled[i] {
+			st.minv[i], st.maxv[i] = mn, mx
+			st.filled[i] = true
+			continue
+		}
+		if types.Less(mn, st.minv[i]) {
+			st.minv[i] = mn
+		}
+		if types.Less(st.maxv[i], mx) {
+			st.maxv[i] = mx
+		}
+	}
 }
 
 // Close implements Iterator.

@@ -1,0 +1,319 @@
+// Morsel-driven parallel execution. A morsel is one independently
+// executable slice of a scan — a heap page range, or one partition of a
+// partitioned ODCI index scan — packaged as an Iterator pipeline
+// (optionally with Filter/Project/partial-aggregate stages stacked on
+// top). Exchange fans N worker goroutines out over a shared morsel
+// source and funnels their result chunks back to the single consuming
+// goroutine, so everything above the exchange stays a plain serial
+// iterator.
+//
+// Chunk ownership across the worker/consumer handoff follows one rule,
+// statically checked by the vetx chunkalias analyzer's send rule: a
+// chunk sent on the exchange channel must be freshly allocated by the
+// sender, which never touches it again. Because rows appended to a
+// chunk never alias chunk-owned storage (the PR-5 batch contract), the
+// receiving goroutine may keep the rows without copying.
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// MorselSource hands out the next morsel pipeline, or nil when the scan
+// is exhausted. It is called from worker goroutines concurrently and
+// must be safe for concurrent use; the returned iterator is owned (run
+// and closed) by the pulling worker.
+type MorselSource func() (Iterator, error)
+
+// NewMorselQueue returns a source handing out n lazily built morsels in
+// index order. The builder runs on the pulling worker's goroutine, so
+// per-morsel materialization (page-range decode, for instance) is
+// itself parallel work. Builders hold no resources before they run, so
+// morsels never pulled need no cleanup.
+func NewMorselQueue(n int, build func(i int) (Iterator, error)) MorselSource {
+	var next atomic.Int64
+	return func() (Iterator, error) {
+		i := next.Add(1) - 1
+		if i >= int64(n) {
+			return nil, nil
+		}
+		return build(int(i))
+	}
+}
+
+// NewIteratorQueue returns a source handing out pre-built iterators —
+// morsels that already hold resources, like ODCI scan partitions opened
+// by StartParallel — plus a cleanup function closing every iterator the
+// source never handed to a worker. Wire the cleanup to Exchange.OnClose
+// so partitions a cancelled or never-run exchange left untouched still
+// get their ODCIIndexClose.
+func NewIteratorQueue(its []Iterator) (MorselSource, func() error) {
+	var next atomic.Int64
+	src := func() (Iterator, error) {
+		i := next.Add(1) - 1
+		if i >= int64(len(its)) {
+			return nil, nil
+		}
+		return its[i], nil
+	}
+	cleanup := func() error {
+		start := next.Swap(int64(len(its)))
+		if start < 0 {
+			start = 0
+		}
+		var errs []error
+		for i := start; i < int64(len(its)); i++ {
+			errs = append(errs, its[i].Close())
+		}
+		return errors.Join(errs...)
+	}
+	return src, cleanup
+}
+
+// PageRanges splits a heap page list into contiguous ranges of at most
+// rangePages pages — the morsel granularity of a parallel heap scan.
+func PageRanges(pages []storage.PageID, rangePages int) [][]storage.PageID {
+	if rangePages < 1 {
+		rangePages = 1
+	}
+	var out [][]storage.PageID
+	for len(pages) > rangePages {
+		out = append(out, pages[:rangePages])
+		pages = pages[rangePages:]
+	}
+	if len(pages) > 0 {
+		out = append(out, pages)
+	}
+	return out
+}
+
+// Exchange runs Workers goroutines that pull morsel pipelines from
+// Source, drain each pipeline chunk by chunk, and push the chunks into
+// a bounded channel the consuming goroutine reads through NextBatch.
+// Row order across morsels is nondeterministic; the planner keeps
+// order-sensitive operators (Sort, Limit, joins) above the exchange,
+// where they see the usual serial iterator.
+//
+// Error and cancel rules: the first worker error is recorded and stops
+// the exchange (remaining workers wind down at their next send or
+// morsel boundary); the consumer sees the error on its next NextBatch,
+// and once surfaced it is sticky. Close is deterministic regardless of
+// how much was consumed: it cancels the workers, drains the channel
+// until the last worker has exited, runs OnClose, and merges the
+// per-worker trace nodes into Node.
+type Exchange struct {
+	// Source hands out morsel pipelines to workers (required).
+	Source MorselSource
+	// Workers is the worker goroutine count (min 1).
+	Workers int
+	// BatchSize sizes worker-produced chunks (<=0: DefaultChunkSize).
+	BatchSize int
+	// OnClose, when set, runs once during Close after the workers have
+	// exited — the cleanup hook for morsel state the workers never
+	// pulled (see NewIteratorQueue). It runs even if the exchange never
+	// started, which is what releases pre-opened scan partitions when a
+	// plan is built and closed without executing (EXPLAIN).
+	OnClose func() error
+	// Stats, when set, receives exchange/morsel/busy counters.
+	Stats *obs.ExecStats
+	// Node, when set, is this operator's trace node: the per-worker
+	// sub-nodes (rows, batches, morsels, busy time accumulated without
+	// sharing) are merged into it at Close. The node's own Rows/Nanos
+	// stay consumer-side (an enclosing Instrument), which is what keeps
+	// EXPLAIN ANALYZE wall times truthful under parallelism.
+	Node *obs.OpNode
+
+	started bool
+	closed  bool
+	out     chan *Chunk
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex // guards err
+	err         error
+	workerNodes []*obs.OpNode
+
+	sticky error // error already surfaced to the consumer
+}
+
+// NextBatch implements Iterator. The received chunk's slices are
+// appended into c; the sender allocated the chunk for this handoff and
+// has dropped it, so no copy of the rows is needed.
+func (e *Exchange) NextBatch(c *Chunk) error {
+	c.Reset()
+	if e.sticky != nil {
+		return e.sticky
+	}
+	if !e.started {
+		e.start()
+	}
+	if err := e.takeErr(); err != nil {
+		return e.surface(err)
+	}
+	ck, ok := <-e.out
+	if !ok {
+		if err := e.takeErr(); err != nil {
+			return e.surface(err)
+		}
+		return nil // all workers done: EOS
+	}
+	c.Rows = append(c.Rows, ck.Rows...)
+	c.RIDs = append(c.RIDs, ck.RIDs...)
+	c.Anc = append(c.Anc, ck.Anc...)
+	c.Label, c.Sink = ck.Label, ck.Sink
+	return nil
+}
+
+// surface makes a worker error the consumer's result: cancel the
+// remaining workers, discard buffered chunks, and return it (sticky).
+func (e *Exchange) surface(err error) error {
+	e.sticky = err
+	e.cancel()
+	for range e.out {
+	}
+	return err
+}
+
+func (e *Exchange) start() {
+	n := e.Workers
+	if n < 1 {
+		n = 1
+	}
+	e.started = true
+	e.out = make(chan *Chunk, 2*n)
+	e.done = make(chan struct{})
+	e.workerNodes = make([]*obs.OpNode, n)
+	if e.Stats != nil {
+		e.Stats.ExchangeStarted()
+	}
+	for i := 0; i < n; i++ {
+		e.workerNodes[i] = &obs.OpNode{}
+		e.wg.Add(1)
+		go e.worker(e.workerNodes[i])
+	}
+	// Dedicated closer: the consumer learns all workers have exited by
+	// the channel closing, without blocking any worker's last send.
+	go func() {
+		e.wg.Wait()
+		close(e.out)
+	}()
+}
+
+func (e *Exchange) worker(node *obs.OpNode) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		it, err := e.Source()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if it == nil {
+			return
+		}
+		node.Morsels++
+		if e.Stats != nil {
+			e.Stats.MorselDispatched()
+		}
+		if err := e.runMorsel(it, node); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+// runMorsel drains one morsel pipeline, sending each non-empty chunk to
+// the consumer. The iterator is closed on every exit path.
+func (e *Exchange) runMorsel(it Iterator, node *obs.OpNode) error {
+	batch := e.BatchSize
+	if batch <= 0 {
+		batch = DefaultChunkSize
+	}
+	for {
+		ck := NewChunk(batch)
+		start := time.Now()
+		err := it.NextBatch(ck)
+		busy := time.Since(start).Nanoseconds()
+		node.Nanos += busy
+		if e.Stats != nil {
+			e.Stats.AddWorkerBusy(busy)
+		}
+		if err != nil {
+			return errors.Join(err, it.Close())
+		}
+		if ck.Len() == 0 {
+			return it.Close()
+		}
+		node.Rows += int64(ck.Len())
+		node.Batches++
+		select {
+		case e.out <- ck: // ownership of ck transfers to the consumer
+		case <-e.done:
+			return it.Close()
+		}
+	}
+}
+
+// fail records the first worker error and cancels the exchange.
+func (e *Exchange) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	e.cancel()
+}
+
+func (e *Exchange) cancel() {
+	e.stop.Do(func() { close(e.done) })
+}
+
+func (e *Exchange) takeErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close implements Iterator: cancel workers, drain the channel until
+// the last worker has exited (every pulled morsel is closed by its
+// worker on the way out), release unpulled morsels via OnClose, and
+// merge worker trace nodes. Idempotent; a worker error the consumer
+// never observed surfaces here.
+func (e *Exchange) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.started {
+		e.cancel()
+		// Draining to channel close synchronizes with wg.Wait in the
+		// closer goroutine: after this loop no worker is running.
+		for range e.out {
+		}
+	}
+	var errs []error
+	if e.OnClose != nil {
+		errs = append(errs, e.OnClose())
+		e.OnClose = nil
+	}
+	if e.Node != nil && e.workerNodes != nil {
+		e.Node.Parallel = len(e.workerNodes)
+		e.Node.Workers = append(e.Node.Workers, e.workerNodes...)
+		e.workerNodes = nil
+	}
+	if err := e.takeErr(); err != nil && !errors.Is(e.sticky, err) {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -268,6 +268,28 @@ type IndexMethods interface {
 	Close(s Server, state ScanState) error
 }
 
+// ParallelMethods is the optional parallel-scan extension of
+// IndexMethods — the analogue of ODCIIndexStart for a parallelized
+// scan. A cartridge opts into parallel domain scans by implementing it;
+// the planner falls back to the serial Start/Fetch/Close protocol
+// otherwise.
+//
+// Contract: StartParallel runs on the statement's goroutine and may use
+// the server callback freely — all shared work (query evaluation,
+// result-set construction) belongs here. It returns between 1 and
+// maxParts scan partitions whose Fetch streams, taken together, are a
+// partitioning of what the serial scan for the same call would return
+// (no duplicates, nothing missing; cross-partition order is
+// unspecified). Each partition is then fetched and closed by its own
+// worker goroutine, concurrently with the others, so partition Fetch
+// and Close must not touch shared mutable state and must not call back
+// into the Server unless the cartridge synchronizes those calls itself.
+type ParallelMethods interface {
+	// StartParallel begins a partitioned index scan for the operator
+	// predicate, returning at most maxParts (>= 1) scan partitions.
+	StartParallel(s Server, info IndexInfo, call OperatorCall, maxParts int) ([]ScanState, error)
+}
+
 // Cost is the optimizer cost estimate returned by StatsMethods.IndexCost,
 // mirroring ODCIStatsIndexCost's I/O + CPU decomposition.
 type Cost struct {

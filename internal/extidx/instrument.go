@@ -19,8 +19,16 @@ type instrumentedMethods struct {
 	obs   *obs.ODCIStats
 }
 
+// instrumentMethods wraps m; if m also implements ParallelMethods the
+// wrapper does too, so the planner's type assertion
+// (m.(ParallelMethods)) still finds StartParallel through the
+// instrumentation layer.
 func instrumentMethods(m IndexMethods, o *obs.ODCIStats) IndexMethods {
-	return instrumentedMethods{inner: m, obs: o}
+	base := instrumentedMethods{inner: m, obs: o}
+	if p, ok := m.(ParallelMethods); ok {
+		return instrumentedParallelMethods{instrumentedMethods: base, parallel: p}
+	}
+	return base
 }
 
 func (im instrumentedMethods) Create(s Server, info IndexInfo) error {
@@ -107,6 +115,23 @@ func (im instrumentedMethods) Close(s Server, state ScanState) error {
 	err := im.inner.Close(s, state)
 	im.obs.Record(obs.CbClose, time.Since(start))
 	return err
+}
+
+// instrumentedParallelMethods additionally forwards (and times)
+// StartParallel for IndexMethods that implement the optional
+// ParallelMethods. Fetch/Close on the returned partitions run through
+// the same instrumented wrapper from worker goroutines; the obs
+// counters are atomic, so concurrent recording is safe.
+type instrumentedParallelMethods struct {
+	instrumentedMethods
+	parallel ParallelMethods
+}
+
+func (ip instrumentedParallelMethods) StartParallel(s Server, info IndexInfo, call OperatorCall, maxParts int) ([]ScanState, error) {
+	start := time.Now()
+	parts, err := ip.parallel.StartParallel(s, info, call, maxParts)
+	ip.obs.Record(obs.CbStartParallel, time.Since(start))
+	return parts, err
 }
 
 // instrumentedStats times the optimizer-extension callbacks.

@@ -27,6 +27,7 @@ const (
 	CbSelectivity
 	CbIndexCost
 	CbCollect
+	CbStartParallel
 	numCallbacks
 )
 
@@ -59,6 +60,8 @@ func (c Callback) String() string {
 		return "ODCIStatsIndexCost"
 	case CbCollect:
 		return "ODCIStatsCollect"
+	case CbStartParallel:
+		return "ODCIIndexStartParallel"
 	}
 	return fmt.Sprintf("Callback(%d)", int(c))
 }

@@ -54,6 +54,9 @@ type PlanCandidate struct {
 	// Batch is the fetch batch size the planner picked for this path
 	// (0 when the path has no batch-size dimension).
 	Batch int
+	// Parallel is the degree of parallelism the planner would run the
+	// path at (0 or 1 = serial).
+	Parallel int
 	// Chosen marks the winning path.
 	Chosen bool
 }
@@ -73,6 +76,19 @@ type OpNode struct {
 	// (0 when not a batched scan).
 	BatchSize int
 	Nanos     int64
+	// Parallel is the worker count for an exchange-driven operator
+	// (0 = serial). Workers holds the per-worker sub-nodes the exchange
+	// merged at Close; each worker's Nanos is time spent inside morsel
+	// NextBatch calls on that worker, so the sum across Workers is CPU
+	// busy time and may legitimately exceed the operator's own wall-time
+	// Nanos. Keeping them separate is what keeps EXPLAIN ANALYZE times
+	// truthful under parallel=N: the operator line reports consumer wall
+	// time, the worker lines report overlapped busy time.
+	Parallel int
+	Workers  []*OpNode
+	// Morsels counts morsel pipelines this worker pulled from the
+	// exchange source (set only on Workers sub-nodes).
+	Morsels int64
 }
 
 // Elapsed returns the operator's accumulated wall time.
@@ -126,8 +142,16 @@ func (t *QueryTrace) Render() []string {
 		if n.BatchSize > 0 {
 			batch = fmt.Sprintf(" batch=%d batches=%d", n.BatchSize, n.Batches)
 		}
-		lines = append(lines, fmt.Sprintf("%s%s (%srows=%d%s time=%s)",
-			indent, n.Desc, est, n.Rows, batch, n.Elapsed().Round(time.Microsecond)))
+		par := ""
+		if n.Parallel > 1 {
+			par = fmt.Sprintf(" parallel=%d", n.Parallel)
+		}
+		lines = append(lines, fmt.Sprintf("%s%s (%srows=%d%s%s time=%s)",
+			indent, n.Desc, est, n.Rows, batch, par, n.Elapsed().Round(time.Microsecond)))
+		for w, wn := range n.Workers {
+			lines = append(lines, fmt.Sprintf("%s  worker %d (rows=%d batches=%d morsels=%d busy=%s)",
+				indent, w, wn.Rows, wn.Batches, wn.Morsels, wn.Elapsed().Round(time.Microsecond)))
+		}
 	}
 	if len(t.Candidates) > 0 {
 		lines = append(lines, "CANDIDATE ACCESS PATHS:")
@@ -162,7 +186,11 @@ func RenderCandidates(cands []PlanCandidate) []string {
 		if c.Batch > 0 {
 			batch = fmt.Sprintf(" batch=%d", c.Batch)
 		}
-		lines = append(lines, fmt.Sprintf("  %s %s cost=%.2f estRows=%.1f%s%s", marker, c.Desc, c.Cost, c.EstRows, sel, batch))
+		par := ""
+		if c.Parallel > 1 {
+			par = fmt.Sprintf(" parallel=%d", c.Parallel)
+		}
+		lines = append(lines, fmt.Sprintf("  %s %s cost=%.2f estRows=%.1f%s%s%s", marker, c.Desc, c.Cost, c.EstRows, sel, batch, par))
 	}
 	return lines
 }

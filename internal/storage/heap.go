@@ -442,7 +442,24 @@ func (h *Heap) Update(rid RID, row []byte) error {
 // row's canonical RID and a copy of its image. fn returning false stops
 // the scan early.
 func (h *Heap) Scan(fn func(rid RID, row []byte) (bool, error)) error {
-	for _, id := range h.pages {
+	return h.ScanPages(h.pages, fn)
+}
+
+// PageList returns a copy of the heap's page chain in physical order.
+// Splitting it into ranges and handing each range to ScanPages is how a
+// parallel scan partitions the heap into page-range morsels: every live
+// row is reported by exactly one range, because a row's canonical slot
+// (its stub, for forwarded rows) lives on exactly one page and relocated
+// copies are never reported directly.
+func (h *Heap) PageList() []PageID {
+	return append([]PageID(nil), h.pages...)
+}
+
+// ScanPages is Scan restricted to the given pages (each must belong to
+// this heap). Concurrent ScanPages calls over disjoint ranges are safe:
+// the scan only reads, and page pins are mediated by the pager.
+func (h *Heap) ScanPages(pages []PageID, fn func(rid RID, row []byte) (bool, error)) error {
+	for _, id := range pages {
 		pg, err := h.pager.Fetch(id)
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -197,6 +198,15 @@ type Stats struct {
 	WALCommits int64 // commit records appended
 	WALBytes   int64 // bytes appended to the log
 	WALSyncs   int64 // log fsyncs
+
+	// LockWaits / LockWaitNanos count contended acquisitions of the
+	// pager mutex and the total time spent blocked on them. The single
+	// pool-wide mutex is the chokepoint parallel scans are expected to
+	// hit first (see ROADMAP: sharded buffer pool); these make it
+	// measurable before that PR lands. Uncontended acquisitions cost
+	// nothing and count nothing.
+	LockWaits     int64
+	LockWaitNanos int64
 }
 
 // HitRate returns the buffer-pool hit fraction (0 with no fetches).
@@ -267,6 +277,28 @@ type pagerCounters struct {
 	writes    obs.Counter
 	evictions obs.Counter
 	allocs    obs.Counter
+
+	// lockWaits/lockWaitNanos are incremented *outside* p.mu (in lock,
+	// after losing the TryLock race), which the atomic Counter type makes
+	// safe; they are therefore only eventually consistent with the
+	// under-mu counters above, which is fine for a contention gauge.
+	lockWaits     obs.Counter
+	lockWaitNanos obs.Counter
+}
+
+// lock acquires p.mu on a hot path, counting contended acquisitions and
+// the time spent blocked. The TryLock fast path keeps the uncontended
+// cost at a single atomic CAS — identical to a plain Lock — so serial
+// workloads pay nothing for the gauge.
+func (p *Pager) lock() {
+	if p.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	p.mu.Lock()
+	p.stats.lockWaits.Inc()
+	p.stats.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+	//vetx:ignore lockbalance -- acquisition helper: every caller defers p.mu.Unlock()
 }
 
 // Stats returns a snapshot of the pager's I/O counters. The snapshot is
@@ -283,6 +315,9 @@ func (p *Pager) Stats() Stats {
 		Writes:    p.stats.writes.Load(),
 		Evictions: p.stats.evictions.Load(),
 		Allocs:    p.stats.allocs.Load(),
+
+		LockWaits:     p.stats.lockWaits.Load(),
+		LockWaitNanos: p.stats.lockWaitNanos.Load(),
 	}
 	if invariantsEnabled && s.Fetches != s.Hits+s.Misses {
 		panic(fmt.Sprintf("storage: inconsistent pager stats snapshot: fetches=%d hits=%d misses=%d", s.Fetches, s.Hits, s.Misses))
@@ -303,12 +338,14 @@ func (p *Pager) ResetStats() {
 	p.stats.writes.Store(0)
 	p.stats.evictions.Store(0)
 	p.stats.allocs.Store(0)
+	p.stats.lockWaits.Store(0)
+	p.stats.lockWaitNanos.Store(0)
 }
 
 // Fetch pins the page in the pool, reading it from the backend on a miss.
 // The caller must Unpin it when done.
 func (p *Pager) Fetch(id PageID) (*Page, error) {
-	p.mu.Lock()
+	p.lock()
 	defer p.mu.Unlock()
 	p.stats.fetches.Inc()
 	if pg, ok := p.frames[id]; ok {
@@ -331,7 +368,7 @@ func (p *Pager) Fetch(id PageID) (*Page, error) {
 // NewPage allocates a fresh zeroed page (reusing freed pages when
 // available), pins it, and returns it marked dirty.
 func (p *Pager) NewPage() (*Page, error) {
-	p.mu.Lock()
+	p.lock()
 	defer p.mu.Unlock()
 	var id PageID
 	if n := len(p.freeList); n > 0 {
@@ -355,7 +392,7 @@ func (p *Pager) NewPage() (*Page, error) {
 
 // Unpin releases one pin; dirty records that the caller modified the page.
 func (p *Pager) Unpin(pg *Page, dirty bool) {
-	p.mu.Lock()
+	p.lock()
 	defer p.mu.Unlock()
 	if dirty {
 		pg.dirty = true

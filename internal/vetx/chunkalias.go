@@ -15,8 +15,11 @@ import (
 //
 // Flagged: storing the chunk pointer or a chunk-derived slice into a
 // struct field or package variable, directly or through a local alias, or
-// capturing one in a closure that is itself stored. Retaining individual
-// Row values is legal (chunks never reuse row storage), so c.Rows[i] and
+// capturing one in a closure that is itself stored, or sending one on a
+// channel (the exchange-handoff rule: a chunk crossing a channel must be
+// freshly allocated by the sender, never the caller-owned parameter the
+// consumer is about to Reset). Retaining individual Row values is legal
+// (chunks never reuse row storage), so c.Rows[i] and
 // append(dst, c.Rows...) are fine; so are writes INTO the chunk
 // (c.Rows = ... is how producers fill it).
 //
@@ -103,6 +106,14 @@ func (c *chunkAliasChecker) visit(n ast.Node) bool {
 		// chunk-derived capture escapes.
 		if c.capturesDerived(st.Call) {
 			c.report(st.Pos(), "chunk-derived value captured by goroutine outliving the batch; copy it first")
+		}
+	case *ast.SendStmt:
+		// A channel send hands the value to another goroutine (the
+		// Exchange worker/consumer handoff); a caller-owned chunk or
+		// slice crossing it outlives the batch on the receiving side.
+		if c.isDerived(st.Value) {
+			c.report(st.Pos(), fmt.Sprintf("%s sent on a channel publishes caller-owned chunk memory to another goroutine; send a freshly allocated chunk instead",
+				exprString(st.Value)))
 		}
 	}
 	return true

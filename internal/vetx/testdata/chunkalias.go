@@ -37,6 +37,21 @@ func (o *Op) NextBatch(c *Chunk) {
 	_ = local
 }
 
+// SendBatch exercises the exchange-handoff rule: the caller-owned chunk
+// (or a local alias, or its slices) must never cross a channel; a chunk
+// freshly allocated by the sender may.
+func (o *Op) SendBatch(c *Chunk, out chan *Chunk, rowsCh chan []Row) {
+	out <- c // want:chunkalias
+	rowsCh <- c.Rows // want:chunkalias
+	alias := c
+	out <- alias // want:chunkalias
+
+	// Legal: the sender allocates a fresh chunk for the handoff and
+	// never touches it again (the Exchange worker pattern).
+	ck := &Chunk{Rows: append([]Row(nil), c.Rows...)}
+	out <- ck
+}
+
 // NoChunk has no *Chunk parameter; field stores of its own buffers are its
 // business.
 func (o *Op) NoChunk(rows []Row) {
