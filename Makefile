@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec
 
-.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel
+.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel bench-writers
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ test:
 ## the per-package timeout is raised above the 600s default)
 race:
 	$(GO) test -race -tags invariants -timeout 1200s $(RACE_PKGS)
+	$(GO) test -race -tags invariants -timeout 1200s -run 'Stress|CrashConcurrent' .
 
 ## crash: fault-injection crash-recovery matrix (every crash point, torn writes)
 crash:
@@ -36,7 +37,7 @@ fuzz:
 ## engine counter (pager, txn, planner, ODCI fetch, parallel exec)
 ## stayed at zero — catches silently disconnected instrumentation
 obs-smoke:
-	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1 -json -smoke > /dev/null
+	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1,W1 -json -smoke > /dev/null
 
 ## check: everything CI runs
 check: build vet lint test race crash obs-smoke
@@ -53,3 +54,10 @@ bench-batch:
 ## vs serial, one JSON metrics snapshot per degree
 bench-parallel:
 	$(GO) run ./cmd/benchrunner -only P1 -json
+
+## bench-writers: group-commit writer sweep (commits/sec and
+## commits-per-fsync at 1/4/16/64 writers), one JSON metrics snapshot
+## per writer count; the experiment aborts on parity loss or a dead
+## shared-sync path
+bench-writers:
+	$(GO) run ./cmd/benchrunner -only W1 -json

@@ -56,6 +56,8 @@ func BenchmarkB1_BatchSweep(b *testing.B) { runExperiment(b, bench.BatchSweep) }
 
 func BenchmarkP1_ParallelSweep(b *testing.B) { runExperiment(b, bench.ParallelSweep) }
 
+func BenchmarkW1_WriterSweep(b *testing.B) { runExperiment(b, bench.WriterSweep) }
+
 // parallelBenchDB builds the morsel-parallelism workload: a wide table
 // whose page count gives the exchange real morsels to dispatch.
 func parallelBenchDB(b *testing.B, nRows int) (*DB, *Session) {

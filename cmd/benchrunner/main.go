@@ -70,6 +70,7 @@ func main() {
 		{"A1", bench.A1CallbacksVsDirect},
 		{"B1", bench.BatchSweep},
 		{"P1", bench.ParallelSweep},
+		{"W1", bench.WriterSweep},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	var total engine.Metrics
@@ -112,7 +113,7 @@ func main() {
 		fmt.Printf("all experiments done in %v\n", time.Since(totalStart).Round(time.Millisecond))
 	}
 	if *smoke {
-		if err := smokeCheck(total, ran["P1"]); err != nil {
+		if err := smokeCheck(total, ran["P1"], ran["W1"]); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner: smoke check FAILED:", err)
 			os.Exit(1)
 		}
@@ -123,7 +124,7 @@ func main() {
 // smokeCheck validates that the instrumented engine actually observed
 // the activity the experiments must have generated. A zero here means a
 // counter was disconnected, not that the workload was idle.
-func smokeCheck(m engine.Metrics, ranParallel bool) error {
+func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
 	if m.Pager.Fetches == 0 {
 		return fmt.Errorf("pager fetches = 0 (buffer-pool counters disconnected)")
 	}
@@ -149,6 +150,14 @@ func smokeCheck(m engine.Metrics, ranParallel bool) error {
 		}
 		if m.Exec.WorkerBusyNanos == 0 {
 			return fmt.Errorf("worker busy time = 0 (worker counters disconnected)")
+		}
+	}
+	if ranWriters {
+		if m.Pager.WALSyncs == 0 {
+			return fmt.Errorf("WAL syncs = 0 (fsync counters disconnected)")
+		}
+		if m.Pager.WALGroupedCommits == 0 || m.CommitGroups.Count == 0 {
+			return fmt.Errorf("grouped commits = 0 (commits-per-fsync counters disconnected)")
 		}
 	}
 	return nil

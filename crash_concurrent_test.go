@@ -1,0 +1,267 @@
+package extdb_test
+
+// Concurrent-committer crash matrix: N writer goroutines commit
+// autocommit transactions over disjoint per-writer tables and one shared
+// (overlapping) table while a fault-injecting WAL sink and backend
+// power-fail the database at every fault-eligible operation — leader
+// appends, the shared fsync, follower enqueues, page writes. After each
+// simulated crash the durable media reopen and are checked against the
+// per-writer acknowledgement record:
+//
+//   - every acknowledged statement's row is present with exactly the
+//     content its writer wrote,
+//   - every row present was written by exactly one statement (no torn or
+//     cross-transaction frame leakage),
+//   - statements that returned an error are atomically present-or-absent
+//     (a torn group batch may have made an unacknowledged commit record
+//     durable; it must then replay in full or not at all),
+//   - statements never attempted are absent.
+//
+// Names carry the Crash prefix so `go test -run Crash` selects the whole
+// durability harness, concurrent half included.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	extdb "repro"
+	"repro/internal/storage"
+	"repro/internal/storage/fault"
+)
+
+const (
+	ccWriters       = 4
+	ccRowsPerWriter = 3
+)
+
+// ccResult records, per row key "Table/id", what each writer observed:
+// acked rows (Exec returned nil — the commit was acknowledged) and
+// failed rows (Exec errored — the statement may or may not have reached
+// the log before the power failure).
+type ccResult struct {
+	mu     sync.Mutex
+	acked  map[string]string
+	failed map[string]string
+}
+
+func (r *ccResult) record(key, val string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err == nil {
+		r.acked[key] = val
+	} else {
+		r.failed[key] = val
+	}
+}
+
+func ccTables() []string {
+	ts := make([]string, 0, ccWriters+1)
+	for w := 0; w < ccWriters; w++ {
+		ts = append(ts, fmt.Sprintf("W%d", w))
+	}
+	return append(ts, "Shared")
+}
+
+// runConcurrentWorkload opens a database over fault-wrapped media,
+// creates the writer tables, then lets ccWriters goroutines race their
+// inserts: each writer fills its own table (disjoint key ranges across
+// writers) and interleaves inserts into the shared table (overlapping
+// page ranges, serialized by the table lock but grouped with the other
+// writers' fsyncs). Writers stop at their first error — after a crash or
+// WAL poisoning nothing can commit anyway. Returns the acknowledgement
+// record and the total fault-eligible ops consumed.
+func runConcurrentWorkload(t *testing.T, media crashMedia, inj *fault.Injector) (*ccResult, int) {
+	t.Helper()
+	res := &ccResult{acked: map[string]string{}, failed: map[string]string{}}
+	db, err := extdb.Open(extdb.Options{
+		Backend:        fault.NewBackend(inj, media.backend),
+		WALSink:        fault.NewSink(inj, media.sink),
+		CacheSizePages: 64,
+	})
+	if err != nil {
+		t.Fatalf("open over fault media: %v", err)
+	}
+	setup := db.NewSession()
+	setupOK := true
+	for _, tbl := range ccTables() {
+		if _, err := setup.Exec(fmt.Sprintf(`CREATE TABLE %s(id NUMBER, val VARCHAR2)`, tbl)); err != nil {
+			setupOK = false
+			break
+		}
+	}
+	if setupOK {
+		var wg sync.WaitGroup
+		for w := 0; w < ccWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := db.NewSession()
+				for r := 0; r < ccRowsPerWriter; r++ {
+					id := int64(w*100 + r)
+					own := fmt.Sprintf("w%d-r%d-own", w, r)
+					_, err := s.Exec(fmt.Sprintf(`INSERT INTO W%d VALUES (%d, '%s')`, w, id, own))
+					res.record(fmt.Sprintf("W%d/%d", w, id), own, err)
+					if err != nil {
+						return
+					}
+					shared := fmt.Sprintf("w%d-r%d-shared", w, r)
+					_, err = s.Exec(fmt.Sprintf(`INSERT INTO Shared VALUES (%d, '%s')`, id, shared))
+					res.record(fmt.Sprintf("Shared/%d", id), shared, err)
+					if err != nil {
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	_ = db.Close() // crashed media: a failing close is part of the scenario
+	return res, inj.Ops()
+}
+
+// verifyConcurrentDurable reopens the durable media and checks the
+// recovered state against the acknowledgement record.
+func verifyConcurrentDurable(t *testing.T, media crashMedia, res *ccResult, label string) {
+	t.Helper()
+	db, err := extdb.Open(extdb.Options{Backend: media.backend, WALSink: media.sink})
+	if err != nil {
+		t.Fatalf("%s: reopen after crash: %v", label, err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			t.Fatalf("%s: close recovered database: %v", label, err)
+		}
+	}()
+	s := db.NewSession()
+	for _, tbl := range ccTables() {
+		prefix := tbl + "/"
+		rs, err := s.Query(fmt.Sprintf(`SELECT id, val FROM %s ORDER BY id`, tbl))
+		if err != nil {
+			// The table's CREATE was never acknowledged; no acknowledged
+			// row may reference it (writers only start after full setup).
+			for key := range res.acked {
+				if strings.HasPrefix(key, prefix) {
+					t.Fatalf("%s: table %s lost but row %s was acknowledged", label, tbl, key)
+				}
+			}
+			continue
+		}
+		present := map[string]string{}
+		for _, row := range rs.Rows {
+			key := fmt.Sprintf("%s/%d", tbl, row[0].Int64())
+			if _, dup := present[key]; dup {
+				t.Fatalf("%s: row %s recovered twice", label, key)
+			}
+			present[key] = row[1].Text()
+		}
+		for key, want := range res.acked {
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			got, ok := present[key]
+			if !ok {
+				t.Fatalf("%s: acknowledged row %s lost after recovery", label, key)
+			}
+			if got != want {
+				t.Fatalf("%s: row %s = %q after recovery, want %q (cross-transaction frame leakage)",
+					label, key, got, want)
+			}
+		}
+		for key, got := range present {
+			if want, ok := res.acked[key]; ok {
+				if got != want {
+					t.Fatalf("%s: row %s = %q, want %q", label, key, got, want)
+				}
+				continue
+			}
+			if want, ok := res.failed[key]; ok {
+				// Unacknowledged but durable: legal only if the whole
+				// statement replayed intact (atomic present-or-absent).
+				if got != want {
+					t.Fatalf("%s: unacknowledged row %s recovered torn: %q, want %q",
+						label, key, got, want)
+				}
+				continue
+			}
+			t.Fatalf("%s: row %s present but never written by any writer", label, key)
+		}
+	}
+}
+
+// runConcurrentCrashPoint executes the concurrent workload with a power
+// failure planned at fault-eligible operation `point` and verifies the
+// durable state. Concurrent schedules are nondeterministic, so a late
+// point may fall beyond the ops this particular run consumed — that run
+// simply completed, and its durable state must still verify.
+func runConcurrentCrashPoint(t *testing.T, point int, action fault.Action, label string) {
+	t.Helper()
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	inj := fault.NewInjector().Set(point, action)
+	res, _ := runConcurrentWorkload(t, media, inj)
+	verifyConcurrentDurable(t, media, res, label)
+}
+
+// TestCrashConcurrentBaseline is the control: no fault, every commit
+// acknowledged, everything durable.
+func TestCrashConcurrentBaseline(t *testing.T) {
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	inj := fault.NewInjector()
+	res, total := runConcurrentWorkload(t, media, inj)
+	if len(res.failed) != 0 {
+		t.Fatalf("baseline run had failures: %v", res.failed)
+	}
+	if want := ccWriters * ccRowsPerWriter * 2; len(res.acked) != want {
+		t.Fatalf("baseline acknowledged %d rows, want %d", len(res.acked), want)
+	}
+	if total < 30 {
+		t.Fatalf("suspiciously few fault-eligible ops in concurrent workload: %d", total)
+	}
+	verifyConcurrentDurable(t, media, res, "concurrent-baseline")
+}
+
+// TestCrashConcurrentMatrixEveryPoint power-fails the concurrent
+// workload at every fault-eligible operation of a reference run and
+// verifies recovery after each: committed transactions durable,
+// uncommitted absent, no cross-transaction frame leakage.
+func TestCrashConcurrentMatrixEveryPoint(t *testing.T) {
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
+	for point := 1; point <= total; point++ {
+		runConcurrentCrashPoint(t, point, fault.Crash, fmt.Sprintf("concurrent-crash@%d", point))
+	}
+}
+
+// TestCrashConcurrentMatrixTornWrites repeats the sweep with torn power
+// loss: the operation in flight makes a prefix of its writes durable —
+// for the shared fsync that means a prefix of the whole group batch, so
+// one committer's complete commit record can become durable while the
+// rest of its group is lost. Recovery must keep exactly the intact
+// prefix's transactions.
+func TestCrashConcurrentMatrixTornWrites(t *testing.T) {
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
+	for point := 1; point <= total; point++ {
+		runConcurrentCrashPoint(t, point, fault.CrashTorn, fmt.Sprintf("concurrent-torn@%d", point))
+	}
+}
+
+// TestCrashConcurrentFailedSyncPoisonsGroup injects a plain I/O failure
+// (no power loss) into every fault-eligible operation in turn. When the
+// failure lands in a shared fsync, every committer waiting on that sync
+// epoch must observe the failure — none of them may acknowledge — and
+// later commits must be refused while the log tail is suspect. The
+// durable media must still verify: acknowledged commits survive, the
+// poisoned batch is atomically present-or-absent per transaction.
+func TestCrashConcurrentFailedSyncPoisonsGroup(t *testing.T) {
+	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
+	for point := 1; point <= total; point++ {
+		label := fmt.Sprintf("concurrent-fail@%d", point)
+		media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+		inj := fault.NewInjector().Set(point, fault.Fail)
+		res, _ := runConcurrentWorkload(t, media, inj)
+		verifyConcurrentDurable(t, media, res, label)
+	}
+}

@@ -546,15 +546,17 @@ func TestCrashRecoveryIsIdempotent(t *testing.T) {
 }
 
 // TestCrashMultiSessionIsolation exercises recovery with more than one
-// session in flight — the case the single-session matrix cannot reach.
-// Redo-only commit logging sweeps every unlogged dirty frame under the
-// committing transaction's record, which is only correct because the
-// engine admits one open writing transaction at a time (the write gate).
-// The test pins both halves of that contract:
+// session in flight on a domain-indexed table. Ordinary writers admit
+// shared and commit concurrently (see the concurrent matrix in
+// crash_concurrent_test.go), but DML on a table with a domain or bitmap
+// index admits exclusively: its maintenance mutates dictionary-resident
+// state that rides wholesale in every committer's snapshot. The test
+// pins both halves of that contract:
 //
-//   - a write in another session blocks while a write transaction is
-//     open, instead of committing and durably logging the open
-//     transaction's dirty pages under its own commit record;
+//   - a write to the domain-indexed table in another session blocks
+//     while a write transaction on it is open, instead of committing and
+//     durably logging a snapshot of the open transaction's in-flight
+//     index state;
 //   - after a crash with a write transaction open, its changes are gone
 //     on reopen while everything acknowledged before the crash survives,
 //     with heap/index agreement.
@@ -582,16 +584,18 @@ func TestCrashMultiSessionIsolation(t *testing.T) {
 	mustExec(sA, `CREATE INDEX DocsIdx ON Docs(body) INDEXTYPE IS TextIndexType`)
 	mustExec(sA, `INSERT INTO Docs VALUES (1, 'unix basics')`)
 
-	// B opens a transaction and writes; it now owns the write gate.
+	// B opens a transaction and writes the domain-indexed table; it now
+	// holds exclusive admission.
 	if err := sB.Begin(); err != nil {
 		t.Fatal(err)
 	}
 	mustExec(sB, `INSERT INTO Docs VALUES (2, 'unix kernel')`)
 	mustExec(sB, `INSERT INTO Docs VALUES (3, 'oracle tuning')`)
 
-	// A's autocommit write must wait for B's transaction to finish. If it
-	// completes while B is open, its commit record would have durably
-	// captured B's in-flight pages.
+	// A's autocommit write to the same domain-indexed table must wait for
+	// B's transaction to finish. If it completes while B is open, its
+	// commit record's snapshot would have durably captured B's in-flight
+	// index state.
 	aDone := make(chan error, 1)
 	go func() {
 		_, err := sA.Exec(`INSERT INTO Docs VALUES (4, 'unix shell')`)
@@ -601,13 +605,13 @@ func TestCrashMultiSessionIsolation(t *testing.T) {
 	case err := <-aDone:
 		t.Fatalf("concurrent write finished (err=%v) while another write transaction was open", err)
 	case <-time.After(100 * time.Millisecond):
-		// Blocked on the write gate, as required.
+		// Blocked on exclusive admission, as required.
 	}
 	if err := sB.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-aDone; err != nil {
-		t.Fatalf("write after gate release: %v", err)
+		t.Fatalf("write after admission release: %v", err)
 	}
 
 	// A second transaction is open and dirty at the moment of power loss;
@@ -626,7 +630,7 @@ func TestCrashMultiSessionIsolation(t *testing.T) {
 	case <-time.After(100 * time.Millisecond):
 	}
 	inj.CrashNow()
-	// Tear the dead process down: B's rollback releases the gate so A's
+	// Tear the dead process down: B's rollback releases admission so A's
 	// blocked statement can fail out against the dead media.
 	_ = sB.Rollback()
 	if err := <-aDone; err == nil {

@@ -74,6 +74,12 @@ var ErrWALBroken = engine.ErrWALBroken
 // them with no undo, so the checkpoint is refused.
 var ErrTxnOpen = engine.ErrTxnOpen
 
+// ErrWriteConflict is returned (wrapped) by a statement that dirtied a
+// page frame another uncommitted transaction already modified. The
+// statement has rolled back; the transaction remains usable and the
+// statement can be retried after the other transaction finishes.
+var ErrWriteConflict = storage.ErrWriteConflict
+
 // Forced access paths for Session.SetForcedPath (optimizer hints).
 const (
 	ForceAuto       = engine.ForceAuto

@@ -36,20 +36,28 @@ func (s *Session) execDDL(st sql.Statement) error {
 		return s.dispatchDDL(st)
 	}
 	t := s.db.txns.Begin()
-	// DDL writes catalog pages and may build whole indexes through
-	// callback sessions sharing t; take the write gate before any table
-	// lock (the implicit commit above already released any gate this
-	// session's explicit transaction held).
-	s.db.acquireWriteGate(t)
+	// DDL rewrites the dictionary, which every concurrent committer's
+	// snapshot gob-encodes wholesale — so DDL admits exclusively, draining
+	// all shared writers first. Admission comes before any table lock (the
+	// implicit commit above already released any admission this session's
+	// explicit transaction held), and the dispatch — catalog pages, whole
+	// index builds through callback sessions sharing t — runs inside the
+	// mutation window. Rollback happens inside the window too; the commit
+	// runs after it exits, so its fsync never blocks the window.
+	s.db.admitTxn(t, true)
 	s.tx, s.explicit = t, true
+	exit := s.db.enterMutation(t.ID, false)
 	err := s.dispatchDDL(st)
 	s.tx, s.explicit = nil, false
 	if err != nil {
-		if rbErr := t.Rollback(); rbErr != nil {
+		rbErr := t.Rollback()
+		exit()
+		if rbErr != nil {
 			return fmt.Errorf("%w (DDL rollback also failed: %v)", err, rbErr)
 		}
 		return err
 	}
+	exit()
 	t.ForceDurable()
 	return t.Commit()
 }

@@ -163,7 +163,7 @@ func (s *Session) maintainDomain(tbl *catalog.Table, fn func(m extidx.IndexMetho
 }
 
 func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error) {
-	release := s.beginWrite()
+	release := s.admitWrite(x.Table)
 	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
@@ -188,7 +188,7 @@ func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var inserted int64
-	err := func() error {
+	err := s.runWrite(t, finish, func() error {
 		emptySchema := &exec.Schema{}
 		for _, rowExprs := range x.Rows {
 			if len(rowExprs) != len(colPos) {
@@ -216,8 +216,8 @@ func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error
 			inserted++
 		}
 		return nil
-	}()
-	if err = finish(err); err != nil {
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{RowsAffected: inserted}, nil
@@ -227,7 +227,7 @@ func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error
 // parsing, used for object/collection values that have no literal syntax)
 // with the same validation and index maintenance as INSERT.
 func (s *Session) InsertRow(table string, row []types.Value) error {
-	release := s.beginWrite()
+	release := s.admitWrite(table)
 	defer release()
 	unlock := s.lockTables(nil, []string{table})
 	defer unlock()
@@ -246,8 +246,9 @@ func (s *Session) InsertRow(table string, row []types.Value) error {
 		}
 	}
 	t, finish := s.begin()
-	err := s.insertRow(tbl, full, t)
-	return finish(err)
+	return s.runWrite(t, finish, func() error {
+		return s.insertRow(tbl, full, t)
+	})
 }
 
 // insertRow writes one row and maintains every index; it is also the
@@ -322,7 +323,7 @@ func (s *Session) matchTargets(tbl *catalog.Table, where sql.Expr, params []type
 }
 
 func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error) {
-	release := s.beginWrite()
+	release := s.admitWrite(x.Table)
 	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
@@ -358,7 +359,7 @@ func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var updated int64
-	err = func() error {
+	err = s.runWrite(t, finish, func() error {
 		for i, rid := range rids {
 			oldRow := rows[i]
 			full := append(append([]types.Value(nil), oldRow...), types.Int(rid.Int64()))
@@ -415,15 +416,15 @@ func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error
 			updated++
 		}
 		return nil
-	}()
-	if err = finish(err); err != nil {
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{RowsAffected: updated}, nil
 }
 
 func (s *Session) execDelete(x *sql.Delete, params []types.Value) (Result, error) {
-	release := s.beginWrite()
+	release := s.admitWrite(x.Table)
 	defer release()
 	unlock := s.lockTables(nil, []string{x.Table})
 	defer unlock()
@@ -437,7 +438,7 @@ func (s *Session) execDelete(x *sql.Delete, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var deleted int64
-	err = func() error {
+	err = s.runWrite(t, finish, func() error {
 		for i, rid := range rids {
 			oldRow := rows[i]
 			for _, ix := range s.db.cat.TableIndexes(tbl.Name) {
@@ -471,8 +472,8 @@ func (s *Session) execDelete(x *sql.Delete, params []types.Value) (Result, error
 			deleted++
 		}
 		return nil
-	}()
-	if err = finish(err); err != nil {
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{RowsAffected: deleted}, nil

@@ -76,32 +76,58 @@ type DB struct {
 	walBroken bool
 	recovery  storage.RecoveryInfo
 
-	// writeGate admits one open writing transaction at a time when a WAL
-	// governs the database. Redo-only commit logging sweeps every
-	// unlogged dirty buffer frame under the committing transaction's
-	// commit record (Pager.AppendUnlogged); that sweep equals the
-	// committing transaction's write set only if no other transaction has
-	// modifications in flight. Write statements acquire the gate before
-	// taking any table lock (a gate waiter never holds table locks, so no
-	// lock-order cycle exists) and hold it until their transaction
-	// commits or rolls back. Checkpoint requires the gate to be free.
-	// writeTxn, guarded by gateMu, identifies the holder so statements of
-	// the same transaction (including callback sessions, which share it)
-	// re-enter without blocking.
+	// Write concurrency (WAL-governed databases). Three layers replace
+	// the old single-writer gate:
 	//
-	// The intended global acquisition order — gate first, then the WAL,
-	// then the pager, backends last — is declared below; the lockorder
-	// analyzer checks every observed acquisition path against it and
-	// reports any cycle in the whole-program lock graph.
+	//   - admission: an RWMutex taken shared by ordinary write
+	//     transactions (from their first write statement until they
+	//     finish) and exclusively by work whose uncommitted state rides
+	//     wholesale in every commit record's dictionary snapshot — DDL,
+	//     and DML on tables with bitmap or domain indexes (bitmap
+	//     content, LOB directories). An exclusive holder is the only
+	//     writer in flight, so its dictionary mutations can never leak
+	//     into another transaction's commit snapshot. Checkpoint
+	//     TryLocks it exclusively (ErrTxnOpen when writers are open).
+	//   - mutMu: the mutation window. Page content is mutated only while
+	//     holding it — write statement bodies, undo replay, and the
+	//     commit sweep (AppendUnloggedFor + commit-record append) — so a
+	//     sweep can never read a page another statement is half-way
+	//     through modifying. The commit fsync runs OUTSIDE the window:
+	//     that is what lets concurrent committers reach the WAL's
+	//     group-commit protocol and share fsyncs. Re-entrant per
+	//     transaction (mutOwner/mutDepth, guarded by mutStateMu):
+	//     callback sessions and statement-level rollback nest inside
+	//     their statement's window.
+	//   - per-frame ownership in the pager (Page.owner): the window
+	//     attributes dirtied frames to its transaction, the commit sweep
+	//     logs only the committing transaction's frames (plus orphans),
+	//     and a statement that dirties another uncommitted transaction's
+	//     frame aborts with storage.ErrWriteConflict (first dirtier
+	//     wins).
 	//
-	//vetx:lockorder engine.DB.writeGate < engine.DB.gateMu
-	//vetx:lockorder engine.DB.writeGate < engine.DB.walMu
+	// The intended global acquisition order — admission first, then
+	// table locks, the mutation window, the WAL append mutex, the WAL
+	// group state, the pager, backends last — is declared below; the
+	// lockorder analyzer checks every observed acquisition path against
+	// it and reports any cycle in the whole-program lock graph. (Table
+	// locks are LockManager locals, deadlock-free by sorted acquisition,
+	// and out of the analyzer's scope.)
+	//
+	//vetx:lockorder engine.DB.admission < engine.DB.mutMu
+	//vetx:lockorder engine.DB.mutMu < engine.DB.mutStateMu
+	//vetx:lockorder engine.DB.mutMu < engine.DB.walMu
+	//vetx:lockorder engine.DB.walMu < storage.WAL.gmu
 	//vetx:lockorder engine.DB.walMu < storage.Pager.mu
+	//vetx:lockorder storage.Pager.mu < storage.WAL.gmu
 	//vetx:lockorder storage.Pager.mu < storage.FileBackend.mu
 	//vetx:lockorder storage.Pager.mu < storage.MemBackend.mu
-	writeGate sync.Mutex
-	gateMu    sync.Mutex
-	writeTxn  *txn.Txn
+	admission sync.RWMutex
+	admitMu   sync.Mutex         // guards admitted
+	admitted  map[*txn.Txn]bool  // open write txns → exclusive?
+	mutMu     sync.Mutex         // the mutation window
+	mutStateMu sync.Mutex        // guards mutOwner/mutDepth
+	mutOwner  int64              // txn holding the window (valid when mutDepth > 0)
+	mutDepth  int                // re-entry depth of the window
 
 	// Observability aggregates (see metrics.go). planner counts costed
 	// plans and chosen path kinds; odci counts and times every callback
@@ -118,11 +144,13 @@ type DB struct {
 	// counters are atomic).
 	execStats obs.ExecStats
 
-	selects       obs.Counter // SELECTs executed (any session)
-	tracedQueries obs.Counter // SELECTs run with a QueryTrace attached
-	slowQueries   obs.Counter // traces handed to the slow-query hook
-	gateWaits     obs.Counter // write-gate acquisitions that could block
-	gateWaitNanos obs.Counter // cumulative wall time spent acquiring it
+	selects        obs.Counter // SELECTs executed (any session)
+	tracedQueries  obs.Counter // SELECTs run with a QueryTrace attached
+	slowQueries    obs.Counter // traces handed to the slow-query hook
+	admitWaits     obs.Counter // write-admission acquisitions
+	admitWaitNanos obs.Counter // cumulative wall time spent acquiring admission
+	mutWaits       obs.Counter // mutation-window acquisitions (non-re-entrant)
+	mutWaitNanos   obs.Counter // cumulative wall time spent acquiring the window
 
 	// hookCfg holds the slow-query hook; atomic so the per-SELECT check
 	// is a single pointer load when no hook is installed.
@@ -144,38 +172,132 @@ var ErrWALBroken = errors.New("engine: write-ahead log failed; reopen to recover
 // durably commit them with no undo, so the checkpoint is refused.
 var ErrTxnOpen = errors.New("engine: checkpoint refused: a write transaction is open")
 
-// acquireWriteGate blocks until t holds the database write gate, making
-// the single-open-writer assumption behind the commit sweep real rather
-// than assumed. Re-entrant per transaction (callback sessions share the
-// invoking transaction). The gate is released when the transaction
-// commits or rolls back — including the rollback a failed commit sink
-// triggers.
-func (db *DB) acquireWriteGate(t *txn.Txn) {
+// admitTxn grants t write admission for its remaining lifetime: shared
+// for ordinary writes, exclusive when the transaction's uncommitted
+// state would otherwise leak into other transactions' commit snapshots
+// (DDL, bitmap-index or domain-index DML). The grant is released when
+// the transaction commits or rolls back — including the rollback a
+// failed commit sink triggers. A shared grant upgrades to exclusive by
+// releasing and re-acquiring; the gap is safe because the transaction
+// holds no other locks here and its page changes stay protected by
+// frame ownership.
+func (db *DB) admitTxn(t *txn.Txn, exclusive bool) {
 	if db.wal == nil || t == nil {
 		return
 	}
-	db.gateMu.Lock()
-	held := db.writeTxn == t
-	db.gateMu.Unlock()
-	if held {
+	db.admitMu.Lock()
+	ex, held := db.admitted[t]
+	db.admitMu.Unlock()
+	if held && (ex || !exclusive) {
 		return
 	}
-	waitStart := time.Now()
-	db.writeGate.Lock()
-	db.gateWaits.Inc()
-	db.gateWaitNanos.Add(time.Since(waitStart).Nanoseconds())
-	db.gateMu.Lock()
-	db.writeTxn = t
-	db.gateMu.Unlock()
-	release := func() {
-		db.gateMu.Lock()
-		db.writeTxn = nil
-		db.gateMu.Unlock()
-		db.writeGate.Unlock()
+	if held {
+		db.admission.RUnlock() // upgrade: shared → exclusive
 	}
-	t.OnCommit(release)
-	t.OnRollback(release)
-	//vetx:ignore lockbalance -- gate ownership transfers to the transaction; commit/rollback handlers release it
+	db.admitAcquire(exclusive)
+	db.admitMu.Lock()
+	db.admitted[t] = exclusive
+	db.admitMu.Unlock()
+	if !held {
+		release := func() {
+			db.admitMu.Lock()
+			wasEx := db.admitted[t]
+			delete(db.admitted, t)
+			db.admitMu.Unlock()
+			if wasEx {
+				db.admission.Unlock()
+			} else {
+				db.admission.RUnlock()
+			}
+		}
+		t.OnCommit(release)
+		t.OnRollback(release)
+	}
+}
+
+// admitAcquire takes the admission lock in the requested mode, counting
+// acquisitions and the wall time spent waiting.
+func (db *DB) admitAcquire(exclusive bool) {
+	waitStart := time.Now()
+	if exclusive {
+		db.admission.Lock()
+	} else {
+		db.admission.RLock()
+	}
+	db.admitWaits.Inc()
+	db.admitWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+	//vetx:ignore lockbalance -- acquisition helper: callers pair it with admitRelease or transfer ownership
+}
+
+// admitRelease undoes one admitAcquire (statement-scoped autocommit
+// grants).
+func (db *DB) admitRelease(exclusive bool) {
+	if exclusive {
+		db.admission.Unlock()
+	} else {
+		db.admission.RUnlock()
+	}
+}
+
+// needsExclusiveAdmission reports whether a write to the named tables
+// must exclude concurrent committers: bitmap-index content and whatever
+// domain-index cartridges keep outside the page space (LOB directories,
+// dictionary-resident state) ride wholesale in every commit record's
+// snapshot, so uncommitted changes to them must not be in flight while
+// another transaction logs a snapshot.
+func (db *DB) needsExclusiveAdmission(tables []string) bool {
+	for _, tn := range tables {
+		for _, ix := range db.cat.TableIndexes(sql.Norm(tn)) {
+			if ix.Kind == catalog.BitmapIndex || ix.Kind == catalog.DomainIndex {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enterMutation opens (or re-enters) the mutation window for txID: the
+// exclusive section in which page content may be mutated — statement
+// bodies, undo replay, and the commit sweep. Frames dirtied inside the
+// window are attributed to txID by the pager (undo mode leaves
+// attribution untouched). The window deliberately excludes the commit
+// fsync, so committers serialize only their in-memory work and share
+// fsyncs through the WAL's group protocol. Re-entrant per transaction:
+// callback sessions (same txn) and rollback inside a failing statement
+// nest. Returns the paired exit.
+func (db *DB) enterMutation(txID int64, undo bool) (exit func()) {
+	if db.wal == nil {
+		return func() {}
+	}
+	db.mutStateMu.Lock()
+	if db.mutDepth > 0 && db.mutOwner == txID {
+		db.mutDepth++
+		db.mutStateMu.Unlock()
+		restore := db.pager.PushWriter(txID, undo)
+		return func() {
+			restore()
+			db.mutStateMu.Lock()
+			db.mutDepth--
+			db.mutStateMu.Unlock()
+		}
+	}
+	db.mutStateMu.Unlock()
+	waitStart := time.Now()
+	db.mutMu.Lock()
+	db.mutWaits.Inc()
+	db.mutWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+	db.mutStateMu.Lock()
+	db.mutOwner, db.mutDepth = txID, 1
+	db.mutStateMu.Unlock()
+	restore := db.pager.PushWriter(txID, undo)
+	//vetx:ignore lockbalance -- window ownership transfers to the returned exit closure; every caller pairs it
+	return func() {
+		restore()
+		db.mutStateMu.Lock()
+		db.mutDepth = 0
+		db.mutStateMu.Unlock()
+		db.mutMu.Unlock()
+	}
 }
 
 // RecoveryInfo reports what WAL replay did during Open (zero value when
@@ -244,6 +366,7 @@ func Open(opts Options) (*DB, error) {
 		lobs:              loblib.NewLOBStore(pager),
 		ws:                extidx.NewWorkspace(),
 		parseCache:        make(map[string]sql.Statement),
+		admitted:          make(map[*txn.Txn]bool),
 		DefaultFetchBatch: 64,
 		recovery:          recovery,
 	}
@@ -271,6 +394,19 @@ func Open(opts Options) (*DB, error) {
 	}
 	if db.wal != nil {
 		db.txns.SetCommitSink(db.logCommit)
+		// Undo replay restores page content, so it must run inside the
+		// mutation window — re-entrant when the statement that failed is
+		// already holding it.
+		db.txns.SetUndoScope(func(txID int64) func() {
+			return db.enterMutation(txID, true)
+		})
+		// Whatever frames a finished transaction still owns become
+		// orphans: a committed txn's frames were disowned by its sweep
+		// (anything left was re-dirtied logging, i.e. committed content),
+		// and a rolled-back txn's frames hold restored pre-images.
+		releaseOwner := func(txID int64) { db.pager.ReleaseOwner(txID) }
+		db.txns.OnCommit(releaseOwner)
+		db.txns.OnRollback(releaseOwner)
 		if recovery.Records > 0 || recovery.TornTail {
 			// Fold the replayed state into the page file and truncate the
 			// log so it does not grow across restarts.
@@ -308,47 +444,70 @@ func (db *DB) Close() error {
 }
 
 // logCommit is the transaction manager's commit sink: it appends the
-// image of every page dirtied since it was last logged, then a commit
-// record carrying the dictionary snapshot, and fsyncs the log. Only
-// after it returns nil is the commit acknowledged. A transaction that
-// dirtied no pages skips the log entirely — unless it is forceDurable
-// (DDL changes only the dictionary, which rides in the commit record).
+// image of every page in the committing transaction's write set, then a
+// commit record carrying the dictionary snapshot — both inside the
+// mutation window and under the short WAL append mutex — and then makes
+// the log durable through the WAL's shared-fsync protocol, outside both
+// locks. Only after it returns nil is the commit acknowledged. A
+// transaction that dirtied no pages skips the log entirely — unless it
+// is forceDurable (DDL changes only the dictionary, which rides in the
+// commit record).
 func (db *DB) logCommit(txID int64, forceDurable bool) error {
+	exit := db.enterMutation(txID, false)
+	target, err := db.appendCommitBatch(txID, forceDurable)
+	exit()
+	if err != nil || target == 0 {
+		return err
+	}
+	if err := db.wal.SyncShared(target); err != nil {
+		// The whole batch is poisoned: this commit's durability is
+		// unknown, so the WAL is marked broken and the suspect tail cut.
+		db.walMu.Lock()
+		err = db.failWAL(err)
+		db.walMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// appendCommitBatch appends the transaction's frame batch and commit
+// record under walMu (the short append mutex concurrent committers
+// serialize on) and returns the log length to sync up to — 0 when the
+// transaction has nothing to log.
+func (db *DB) appendCommitBatch(txID int64, forceDurable bool) (int64, error) {
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
 	if db.walBroken {
-		return ErrWALBroken
+		return 0, ErrWALBroken
 	}
-	// fail poisons the WAL and cuts the log back to the last successfully
-	// synced length: the bytes past it may or may not have reached
-	// durable media, and a commit record the client is about to see fail
-	// must never replay as committed after reopening. If even the
-	// truncation fails, Close retries it; the poisoning stands either way.
-	fail := func(err error) error {
-		db.walBroken = true
-		if terr := db.wal.TruncateToSynced(); terr != nil {
-			return errors.Join(err, fmt.Errorf("engine: discard suspect wal tail: %w", terr))
-		}
-		return err
-	}
-	n, err := db.pager.AppendUnlogged(db.wal)
+	n, err := db.pager.AppendUnloggedFor(db.wal, txID)
 	if err != nil {
-		return fail(err)
+		return 0, db.failWAL(err)
 	}
 	if n == 0 && !forceDurable {
-		return nil
+		return 0, nil
 	}
 	snap, err := db.snapshotBytes()
 	if err != nil {
-		return fail(err)
+		return 0, db.failWAL(err)
 	}
 	if err := db.wal.AppendCommit(txID, snap); err != nil {
-		return fail(err)
+		return 0, db.failWAL(err)
 	}
-	if err := db.wal.Sync(); err != nil {
-		return fail(err)
+	return db.wal.LogSize(), nil
+}
+
+// failWAL poisons the WAL and cuts the log back to the last successfully
+// synced length: the bytes past it may or may not have reached durable
+// media, and a commit record the client is about to see fail must never
+// replay as committed after reopening. If even the truncation fails,
+// Close retries it; the poisoning stands either way. Callers hold walMu.
+func (db *DB) failWAL(err error) error {
+	db.walBroken = true
+	if terr := db.wal.TruncateToSynced(); terr != nil {
+		return errors.Join(err, fmt.Errorf("engine: discard suspect wal tail: %w", terr))
 	}
-	return nil
+	return err
 }
 
 // Registry exposes the extensible-indexing registry so cartridges can
@@ -378,6 +537,21 @@ func (db *DB) ResetPagerStats() {
 	}
 }
 
+// LeakCheck reports buffer-pool state that must not exist at rest (no
+// statement executing, no write transaction open): pinned frames mean a
+// pin leak, and owner-attributed dirty frames mean a finished
+// transaction failed to disown its write set. Stress and invariants
+// tests call it between workload phases.
+func (db *DB) LeakCheck() error {
+	if leaked := db.pager.PinnedPages(); len(leaked) > 0 {
+		return fmt.Errorf("engine: %d pinned page(s) at rest: %v", len(leaked), leaked)
+	}
+	if owned := db.pager.OwnedPages(); len(owned) > 0 {
+		return fmt.Errorf("engine: %d owner-attributed frame(s) at rest: %v", len(owned), owned)
+	}
+	return nil
+}
+
 // LOBStore exposes the database LOB store.
 func (db *DB) LOBStore() *loblib.LOBStore { return db.lobs }
 
@@ -394,20 +568,31 @@ func (db *DB) Workspace() *extidx.Workspace { return db.ws }
 // redundant. Checkpoint must not run while a write transaction is open:
 // the flush writes every dirty page, and under redo-only logging an
 // uncommitted page on disk would have no undo to remove it. That rule is
-// enforced, not assumed — Checkpoint holds the write gate for its whole
-// run and returns ErrTxnOpen when a writer has it.
+// enforced, not assumed — Checkpoint holds write admission exclusively
+// for its whole run and returns ErrTxnOpen when any writer is admitted.
+// With admission held, every frame owner has finished (commit sweeps
+// disown on logging, transaction-end handlers orphan the rest), so the
+// owner-0 sweep below covers everything dirty.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return db.SaveSnapshot()
 	}
-	if !db.writeGate.TryLock() {
+	if !db.admission.TryLock() {
 		return ErrTxnOpen
 	}
-	defer db.writeGate.Unlock()
-	if err := db.writeSnapshotChain(); err != nil {
+	defer db.admission.Unlock()
+	if invariantsEnabled {
+		if owned := db.pager.OwnedPages(); len(owned) > 0 {
+			panic(fmt.Sprintf("engine: checkpoint with admission held found owned frames %v", owned))
+		}
+	}
+	exit := db.enterMutation(0, false)
+	err := db.writeSnapshotChain()
+	exit()
+	if err != nil {
 		return err
 	}
-	// Log the chain pages (and everything else still unlogged) with a
+	// Log the chain pages (and every orphan still unlogged) with a
 	// commit record before the flush: a crash that tears the page file
 	// mid-flush is then repaired by replay, chain included.
 	if err := db.logCommit(0, true); err != nil {

@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package engine
+
+// invariantsEnabled is false in default builds: the checks behind it are
+// engine-level structural assertions (e.g. no owned frames survive into a
+// checkpoint) too expensive or too fatal for production paths.
+const invariantsEnabled = false

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package engine
+
+// invariantsEnabled compiles in the engine-level structural checks:
+// frame-ownership accounting at checkpoint boundaries and the like.
+const invariantsEnabled = true

@@ -21,11 +21,15 @@ type EngineStats struct {
 	TracedQueries int64
 	// SlowQueries counts traces handed to the slow-query hook.
 	SlowQueries int64
-	// GateWaits / GateWaitNanos count write-gate acquisitions and the
-	// cumulative wall time spent waiting for the gate (single-open-writer
-	// admission; see DB.writeGate).
-	GateWaits     int64
-	GateWaitNanos int64
+	// AdmitWaits / AdmitWaitNanos count writer-admission acquisitions and
+	// the cumulative wall time spent waiting to be admitted (shared for
+	// ordinary DML, exclusive for DDL; see DB.admission).
+	AdmitWaits     int64
+	AdmitWaitNanos int64
+	// MutWaits / MutWaitNanos count mutation-window entries and the
+	// cumulative wall time spent waiting for the window (see DB.mutMu).
+	MutWaits     int64
+	MutWaitNanos int64
 	// FetchCalls counts ODCIIndexFetch interface crossings observed by
 	// domain scans (same counter as DB.FetchCalls).
 	FetchCalls int64
@@ -48,6 +52,10 @@ type Metrics struct {
 	Engine    EngineStats
 	Exec      obs.ExecSnapshot
 	Workspace WorkspaceStats
+	// CommitGroups is the distribution of commits acknowledged per shared
+	// fsync (group-commit batch sizes). Mean() > 1 means fsyncs are being
+	// shared; zero-valued when no WAL governs the database.
+	CommitGroups obs.HistogramSnapshot
 }
 
 // Metrics snapshots every observability counter in the database.
@@ -62,13 +70,25 @@ func (db *DB) Metrics() Metrics {
 			Selects:       db.selects.Load(),
 			TracedQueries: db.tracedQueries.Load(),
 			SlowQueries:   db.slowQueries.Load(),
-			GateWaits:     db.gateWaits.Load(),
-			GateWaitNanos: db.gateWaitNanos.Load(),
-			FetchCalls:    db.FetchCalls(),
+			AdmitWaits:     db.admitWaits.Load(),
+			AdmitWaitNanos: db.admitWaitNanos.Load(),
+			MutWaits:       db.mutWaits.Load(),
+			MutWaitNanos:   db.mutWaitNanos.Load(),
+			FetchCalls:     db.FetchCalls(),
 		},
-		Exec:      db.execStats.Snapshot(),
-		Workspace: WorkspaceStats{Live: live, HighWater: high},
+		Exec:         db.execStats.Snapshot(),
+		Workspace:    WorkspaceStats{Live: live, HighWater: high},
+		CommitGroups: db.commitGroups(),
 	}
+}
+
+// commitGroups snapshots the WAL's group-size histogram (zero when no WAL
+// governs the database).
+func (db *DB) commitGroups() obs.HistogramSnapshot {
+	if db.wal == nil {
+		return obs.HistogramSnapshot{}
+	}
+	return db.wal.GroupSizes()
 }
 
 // ResetMetrics zeroes every observability counter (benchmark phases).
@@ -82,8 +102,10 @@ func (db *DB) ResetMetrics() {
 	db.selects.Store(0)
 	db.tracedQueries.Store(0)
 	db.slowQueries.Store(0)
-	db.gateWaits.Store(0)
-	db.gateWaitNanos.Store(0)
+	db.admitWaits.Store(0)
+	db.admitWaitNanos.Store(0)
+	db.mutWaits.Store(0)
+	db.mutWaitNanos.Store(0)
 	db.execStats.Reset()
 	db.ResetFetchCalls()
 }
@@ -116,6 +138,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Pager.WALCommits += o.Pager.WALCommits
 	m.Pager.WALBytes += o.Pager.WALBytes
 	m.Pager.WALSyncs += o.Pager.WALSyncs
+	m.Pager.WALGroupedCommits += o.Pager.WALGroupedCommits
 	m.Pager.LockWaits += o.Pager.LockWaits
 	m.Pager.LockWaitNanos += o.Pager.LockWaitNanos
 	m.Txn.Begins += o.Txn.Begins
@@ -126,9 +149,12 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Engine.Selects += o.Engine.Selects
 	m.Engine.TracedQueries += o.Engine.TracedQueries
 	m.Engine.SlowQueries += o.Engine.SlowQueries
-	m.Engine.GateWaits += o.Engine.GateWaits
-	m.Engine.GateWaitNanos += o.Engine.GateWaitNanos
+	m.Engine.AdmitWaits += o.Engine.AdmitWaits
+	m.Engine.AdmitWaitNanos += o.Engine.AdmitWaitNanos
+	m.Engine.MutWaits += o.Engine.MutWaits
+	m.Engine.MutWaitNanos += o.Engine.MutWaitNanos
 	m.Engine.FetchCalls += o.Engine.FetchCalls
+	m.CommitGroups.Merge(o.CommitGroups)
 	m.Exec.Merge(o.Exec)
 	if o.Workspace.Live > m.Workspace.Live {
 		m.Workspace.Live = o.Workspace.Live
@@ -150,12 +176,17 @@ func (m Metrics) String() string {
 		m.Pager.LockWaits, time.Duration(m.Pager.LockWaitNanos).Round(time.Microsecond))
 	fmt.Fprintf(&b, "wal:     records=%d pages=%d commits=%d bytes=%d syncs=%d\n",
 		m.Pager.WALRecords, m.Pager.WALPages, m.Pager.WALCommits, m.Pager.WALBytes, m.Pager.WALSyncs)
+	if m.Pager.WALSyncs > 0 {
+		fmt.Fprintf(&b, "         groupedCommits=%d commitsPerFsync=%.2f\n",
+			m.Pager.WALGroupedCommits, float64(m.Pager.WALGroupedCommits)/float64(m.Pager.WALSyncs))
+	}
 	fmt.Fprintf(&b, "txn:     begins=%d commits=%d rollbacks=%d\n",
 		m.Txn.Begins, m.Txn.Commits, m.Txn.Rollbacks)
 	fmt.Fprintf(&b, "engine:  selects=%d traced=%d slow=%d fetchCalls=%d\n",
 		m.Engine.Selects, m.Engine.TracedQueries, m.Engine.SlowQueries, m.Engine.FetchCalls)
-	fmt.Fprintf(&b, "         write-gate waits=%d waitTime=%s\n",
-		m.Engine.GateWaits, time.Duration(m.Engine.GateWaitNanos).Round(time.Microsecond))
+	fmt.Fprintf(&b, "         admission waits=%d waitTime=%s window waits=%d waitTime=%s\n",
+		m.Engine.AdmitWaits, time.Duration(m.Engine.AdmitWaitNanos).Round(time.Microsecond),
+		m.Engine.MutWaits, time.Duration(m.Engine.MutWaitNanos).Round(time.Microsecond))
 	fmt.Fprintf(&b, "exec:    %s\n", m.Exec.String())
 	fmt.Fprintf(&b, "planner: plans=%d candidates=%d", m.Planner.Plans, m.Planner.Candidates)
 	if len(m.Planner.ChosenByKind) > 0 {

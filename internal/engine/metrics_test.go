@@ -324,9 +324,9 @@ func TestUntracedQueryAllocatesNoTrace(t *testing.T) {
 	}
 }
 
-func TestWALAndGateCountersFileBacked(t *testing.T) {
-	// The WAL and the single-writer gate only exist for file-backed
-	// databases; the in-memory tests above cannot see these counters.
+func TestWALAndAdmissionCountersFileBacked(t *testing.T) {
+	// The WAL and writer admission only exist for file-backed databases;
+	// the in-memory tests above cannot see these counters.
 	db, err := Open(Options{Path: t.TempDir() + "/m.db"})
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +339,16 @@ func TestWALAndGateCountersFileBacked(t *testing.T) {
 	if m.Pager.WALRecords == 0 || m.Pager.WALCommits == 0 || m.Pager.WALBytes == 0 {
 		t.Errorf("wal counters dead: %+v", m.Pager)
 	}
-	if m.Engine.GateWaits == 0 {
-		t.Errorf("write-gate acquisitions not counted: %+v", m.Engine)
+	if m.Engine.AdmitWaits == 0 {
+		t.Errorf("writer admissions not counted: %+v", m.Engine)
+	}
+	if m.Engine.MutWaits == 0 {
+		t.Errorf("mutation-window entries not counted: %+v", m.Engine)
+	}
+	if m.Pager.WALGroupedCommits == 0 {
+		t.Errorf("grouped-commit counter dead: %+v", m.Pager)
+	}
+	if m.CommitGroups.Count == 0 || m.CommitGroups.Mean() < 1 {
+		t.Errorf("commit-group histogram dead: %+v", m.CommitGroups)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/extidx"
@@ -144,34 +143,71 @@ func (s *Session) begin() (*txn.Txn, func(err error) error) {
 	}
 }
 
-// beginWrite ensures the statement about to modify data holds the
-// database write gate, returning the statement-end release (a no-op
-// when the gate is transaction-scoped or not needed). It must run
-// before the statement takes any table lock: gate waiters hold no
-// locks, so the gate → table-lock order can never cycle.
+// admitWrite admits the statement about to modify the named tables into
+// the writer population, returning the statement-end release (a no-op
+// when admission is transaction-scoped or not needed). It must run
+// before the statement takes any table lock: admission waiters hold no
+// locks, so the admission → table-lock order can never cycle.
 //
-//   - No WAL: the commit path does no dirty-frame sweep, no gate.
-//   - Callback session: the invoking write statement's transaction
-//     already holds the gate.
-//   - Explicit transaction: the gate is acquired for the transaction
-//     and released when it commits or rolls back.
+//   - No WAL: the commit path does no frame sweep, no admission.
+//   - Callback session: the invoking write statement's transaction is
+//     already admitted.
+//   - Explicit transaction: admission is acquired for the transaction
+//     and released when it commits or rolls back (upgraded in place if
+//     a later statement needs exclusive admission).
 //   - Autocommit: the statement's transaction begins and commits inside
-//     the statement, so the gate is held for the statement's duration.
-func (s *Session) beginWrite() func() {
+//     the statement, so admission spans the statement's duration.
+//
+// Ordinary DML admits shared — that is the whole point of group commit:
+// many writers in flight, one fsync. DML on a table with a bitmap or
+// domain index admits exclusive, because those maintenance paths mutate
+// dictionary state that rides in every committer's snapshot (see
+// needsExclusiveAdmission).
+func (s *Session) admitWrite(tables ...string) func() {
 	db := s.db
 	if db.wal == nil || s.isCallback {
 		return func() {}
 	}
+	exclusive := db.needsExclusiveAdmission(tables)
 	if s.explicit && s.tx != nil {
-		db.acquireWriteGate(s.tx)
+		db.admitTxn(s.tx, exclusive)
 		return func() {}
 	}
-	waitStart := time.Now()
-	db.writeGate.Lock()
-	db.gateWaits.Inc()
-	db.gateWaitNanos.Add(time.Since(waitStart).Nanoseconds())
-	//vetx:ignore lockbalance -- gate ownership transfers to the returned release closure; every caller defers it
-	return func() { db.writeGate.Unlock() }
+	db.admitAcquire(exclusive)
+	return func() { db.admitRelease(exclusive) }
+}
+
+// runWrite executes a write statement's mutation body inside the
+// database's mutation window and settles the transaction with the
+// correct window discipline:
+//
+//   - The body (and any statement-level rollback a failure triggers)
+//     runs inside the window — page mutation and undo replay are
+//     serialized against concurrent committers' sweeps.
+//   - A successful finish runs outside the window, so an autocommit
+//     fsync can group with other committers instead of convoying the
+//     window behind the disk.
+//
+// After a successful body, the pager's pending write-conflict (another
+// uncommitted transaction already owns a frame this statement dirtied)
+// is surfaced and aborts the statement with storage.ErrWriteConflict.
+func (s *Session) runWrite(t *txn.Txn, finish func(err error) error, body func() error) error {
+	db := s.db
+	if db.wal == nil {
+		return finish(body())
+	}
+	exit := db.enterMutation(t.ID, false)
+	err := body()
+	if err == nil {
+		err = db.pager.TakeConflict()
+	}
+	if err != nil {
+		err = finish(err) // rollback replays undo inside this window
+		exit()
+		return err
+	}
+	exit()
+	return finish(nil)
 }
 
 // Begin starts an explicit transaction.

@@ -198,6 +198,10 @@ type Stats struct {
 	WALCommits int64 // commit records appended
 	WALBytes   int64 // bytes appended to the log
 	WALSyncs   int64 // log fsyncs
+	// WALGroupedCommits counts commit records made durable through the
+	// group-commit protocol (SyncShared epochs); WALGroupedCommits /
+	// WALSyncs is the commits-per-fsync ratio the W1 bench asserts on.
+	WALGroupedCommits int64
 
 	// LockWaits / LockWaitNanos count contended acquisitions of the
 	// pager mutex and the total time spent blocked on them. The single
@@ -228,8 +232,25 @@ type Page struct {
 	// the WAL; a later modification clears it so the page is re-logged
 	// at the next commit.
 	logged bool
-	elem   *list.Element // position in LRU when unpinned
+	// owner is the id of the uncommitted transaction whose modifications
+	// the current dirty image carries, 0 for none. It is set when a
+	// mutation window (PushWriter) dirties the frame and cleared when the
+	// owning transaction's commit sweep logs it or ReleaseOwner runs at
+	// transaction end. A frame with owner 0 that is still dirty is an
+	// "orphan": its content is committed-equivalent (system writes, or a
+	// rolled-back transaction's restored image), so any commit may sweep
+	// it. The per-frame owner is what lets the commit sweep log exactly
+	// the committing transaction's write set while other transactions
+	// have modifications in flight.
+	owner int64
+	elem  *list.Element // position in LRU when unpinned
 }
+
+// ErrWriteConflict is reported (via TakeConflict) when a mutation window
+// dirties a frame that another uncommitted transaction already owns.
+// First dirtier wins: the second transaction's statement must abort and
+// roll back, and may be retried after the owner finishes.
+var ErrWriteConflict = errors.New("storage: page write conflict")
 
 // Pager is the buffer pool: it caches up to capacity page frames over a
 // Backend, tracking pins, dirty state, and I/O statistics. All methods are
@@ -249,6 +270,19 @@ type Pager struct {
 	// or a crash would surface them with no undo log to remove them.
 	// Dirty frames then stay resident until FlushAll (checkpoint).
 	noSteal bool
+
+	// curOwner / curUndo identify the mutation window currently allowed
+	// to dirty frames: Unpin attributes newly dirtied frames to curOwner
+	// (owner 0 = system writes, which stay orphans). In undo mode the
+	// restored content is committed-equivalent, so ownership is left
+	// untouched and no conflicts are recorded. The engine serializes
+	// mutation windows (one writer mutates page content at a time), which
+	// is what makes a single current-owner pair sufficient.
+	curOwner int64
+	curUndo  bool
+	// conflict holds the first cross-transaction dirtying observed in the
+	// current window; TakeConflict consumes it at statement end.
+	conflict error
 }
 
 // NewPager creates a buffer pool with the given frame capacity (minimum 8)
@@ -386,6 +420,9 @@ func (p *Pager) NewPage() (*Page, error) {
 		return nil, err
 	}
 	pg := &Page{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
+	if !p.curUndo {
+		pg.owner = p.curOwner
+	}
 	p.frames[id] = pg
 	return pg, nil
 }
@@ -397,6 +434,18 @@ func (p *Pager) Unpin(pg *Page, dirty bool) {
 	if dirty {
 		pg.dirty = true
 		pg.logged = false
+		if p.curOwner != 0 && !p.curUndo {
+			switch pg.owner {
+			case 0:
+				pg.owner = p.curOwner
+			case p.curOwner:
+				// already ours
+			default:
+				if p.conflict == nil {
+					p.conflict = fmt.Errorf("%w: page %d is modified by uncommitted transaction %d", ErrWriteConflict, pg.ID, pg.owner)
+				}
+			}
+		}
 	}
 	pg.pins--
 	if pg.pins < 0 {
@@ -434,23 +483,105 @@ func (p *Pager) SetNoSteal(on bool) {
 	p.noSteal = on
 }
 
-// AppendUnlogged appends to w the image of every dirty frame not yet
-// logged since it was last modified, marking each as logged, and returns
-// how many pages were appended. The sweep equals the committing
-// transaction's write set only because the engine admits a single open
-// writing transaction at a time (the DB write gate, held from before a
-// write statement's first page modification until its transaction
-// finishes): no concurrent transaction can have unlogged dirty frames
-// in flight when a commit runs. Non-transactional pages (superblock
-// initialization, snapshot-chain writes) may ride along; their content
-// is committed by construction.
-func (p *Pager) AppendUnlogged(w *WAL) (int, error) {
+// PushWriter opens a mutation window: until the returned restore runs,
+// frames dirtied through Unpin/NewPage are attributed to owner (0 =
+// system writes, left as orphans). undo marks the window as replaying an
+// undo log — restored content is committed-equivalent, so ownership is
+// left untouched and cross-transaction dirtying is not a conflict.
+// Windows nest (callback sessions, statement-level rollback inside a
+// statement); restore reinstates the enclosing window's attribution.
+// The engine serializes mutation windows, so at most one owner is
+// current at a time.
+func (p *Pager) PushWriter(owner int64, undo bool) (restore func()) {
+	p.mu.Lock()
+	prevOwner, prevUndo := p.curOwner, p.curUndo
+	p.curOwner, p.curUndo = owner, undo
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		p.curOwner, p.curUndo = prevOwner, prevUndo
+		p.mu.Unlock()
+	}
+}
+
+// TakeConflict returns and clears the first cross-transaction write
+// conflict recorded since the last call (nil when the window's writes
+// were clean). The statement executor consults it before committing:
+// a non-nil result means the statement dirtied another uncommitted
+// transaction's frame and must roll back.
+func (p *Pager) TakeConflict() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.conflict
+	p.conflict = nil
+	return err
+}
+
+// ReleaseOwner orphans every frame owned by the transaction: called when
+// it finishes (commit or rollback). After a commit the sweep has already
+// logged and disowned its frames, so this is a safety net; after a
+// rollback the undo log has restored committed-equivalent content, so
+// the frames become orphans sweepable by any later commit.
+func (p *Pager) ReleaseOwner(owner int64) {
+	if owner == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range p.frames {
+		if pg.owner == owner {
+			pg.owner = 0
+		}
+	}
+}
+
+// PagesOwnedBy returns the sorted ids of frames the transaction owns —
+// its current write set (tests and invariants).
+func (p *Pager) PagesOwnedBy(owner int64) []PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []PageID
+	for id, pg := range p.frames {
+		if pg.owner == owner && owner != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OwnedPages returns the sorted ids of frames owned by any uncommitted
+// transaction. Checkpoints require it to be empty: every owner must have
+// committed or rolled back before dirty pages may reach the page file.
+func (p *Pager) OwnedPages() []PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []PageID
+	for id, pg := range p.frames {
+		if pg.owner != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AppendUnloggedFor appends to w the image of every unlogged dirty frame
+// in the committing transaction's write set — frames it owns, plus
+// orphans (owner 0), whose content is committed-equivalent by
+// construction (superblock initialization, snapshot-chain writes,
+// rolled-back transactions' restored images). Swept frames are marked
+// logged and disowned. Frames owned by other uncommitted transactions
+// are skipped: that is the per-transaction write-set contract that lets
+// concurrent writers commit without logging each other's in-flight
+// changes. Returns how many pages were appended.
+func (p *Pager) AppendUnloggedFor(w *WAL, owner int64) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// Deterministic order makes crash points reproducible.
 	var ids []PageID
 	for id, pg := range p.frames {
-		if pg.dirty && !pg.logged {
+		if pg.dirty && !pg.logged && (pg.owner == owner || pg.owner == 0) {
 			ids = append(ids, id)
 		}
 	}
@@ -461,6 +592,7 @@ func (p *Pager) AppendUnlogged(w *WAL) (int, error) {
 			return 0, err
 		}
 		pg.logged = true
+		pg.owner = 0
 	}
 	return len(ids), nil
 }
@@ -480,12 +612,16 @@ func (p *Pager) FlushAll() error {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		pg := p.frames[id]
+		if invariantsEnabled && p.noSteal && pg.owner != 0 {
+			panic(fmt.Sprintf("storage: flushing page %d owned by uncommitted transaction %d", id, pg.owner))
+		}
 		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
 			return err
 		}
 		p.stats.writes.Inc()
 		pg.dirty = false
 		pg.logged = false
+		pg.owner = 0
 	}
 	return p.backend.Sync()
 }

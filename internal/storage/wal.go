@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -167,19 +168,42 @@ const walHeaderSize = 4 + 4 + 1 + 8
 
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// WAL appends checksummed redo records to a sink. It is not internally
-// synchronized; the engine serializes commits and checkpoints around it.
+// WAL appends checksummed redo records to a sink, with group commit:
+// appends are serialized by the caller (the engine's walMu — the short
+// "append mutex" committers hold only while copying their batch into the
+// log), while Sync/SyncShared run a leader/follower protocol so that
+// concurrent committers share one fsync. Internal cursor state is
+// guarded by gmu so the sync path can run concurrently with appends.
 type WAL struct {
 	sink WALSink
-	seq  uint64
-	// size is the log length in bytes including every append so far;
-	// synced/syncedSeq are the length and sequence number at the last
-	// successful Sync. TruncateToSynced cuts the log back to that point
-	// after a failed append or sync, so records whose durability is
-	// unknown can never be replayed.
+
+	// gmu guards the log cursor (seq/size), the durability horizon
+	// (synced/syncedSeq), and the group-commit epoch state below. It is
+	// held only for bookkeeping — never across the sink fsync, which is
+	// what lets appenders make progress while a leader's fsync is in
+	// flight.
+	gmu      sync.Mutex
+	syncDone *sync.Cond // broadcast when a sync epoch completes or fails
+
+	// seq/size are the sequence number and byte length of the log
+	// including every append so far; synced/syncedSeq are their values at
+	// the last successful sync. TruncateToSynced cuts the log back to the
+	// synced point after a failed append or sync, so records whose
+	// durability is unknown can never be replayed.
+	seq       uint64
 	size      int64
 	synced    int64
 	syncedSeq uint64
+
+	// syncing marks a leader's fsync in flight; followers wait on
+	// syncDone. syncErr poisons the WAL after a failed sync: every
+	// committer in (or after) the failed batch gets the error, because
+	// none of their records are known durable. unsyncedCommits counts
+	// commit records appended since the last epoch began — the size of
+	// the batch the next leader's fsync will cover.
+	syncing         bool
+	syncErr         error
+	unsyncedCommits int64
 
 	// Cumulative log-traffic counters, folded into storage.Stats by
 	// AddStats. Atomic (obs.Counter) because snapshots race with the
@@ -190,30 +214,49 @@ type WAL struct {
 	commits obs.Counter
 	bytes   obs.Counter
 	syncs   obs.Counter
+	// grouped counts commit records made durable through sync epochs;
+	// grouped/syncs is the commits-per-fsync ratio the W1 bench asserts
+	// on. groupSizes is the distribution of batch sizes (commit records
+	// per fsync epoch).
+	grouped    obs.Counter
+	groupSizes obs.Histogram
 }
 
 // NewWAL returns a WAL writer over sink, continuing after the given
 // sequence number and byte length (both 0 for a fresh or truncated log;
 // recovery passes RecoveryInfo.LastSeq and RecoveryInfo.IntactBytes).
 func NewWAL(sink WALSink, lastSeq uint64, size int64) *WAL {
-	return &WAL{sink: sink, seq: lastSeq, size: size, synced: size, syncedSeq: lastSeq}
+	w := &WAL{sink: sink, seq: lastSeq, size: size, synced: size, syncedSeq: lastSeq}
+	w.syncDone = sync.NewCond(&w.gmu)
+	return w
 }
 
 func (w *WAL) append(kind byte, payload []byte) error {
-	w.seq++
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	seq := w.seq + 1
 	rec := make([]byte, walHeaderSize+len(payload))
 	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	rec[8] = kind
-	binary.BigEndian.PutUint64(rec[9:17], w.seq)
+	binary.BigEndian.PutUint64(rec[9:17], seq)
 	copy(rec[walHeaderSize:], payload)
 	binary.BigEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], walCRC))
 	if err := w.sink.Append(rec); err != nil {
 		return err
 	}
+	w.seq = seq
 	w.size += int64(len(rec))
 	w.recs.Inc()
 	w.bytes.Add(int64(len(rec)))
 	return nil
+}
+
+// LogSize returns the current log length in bytes — the durability
+// target a committer passes to SyncShared after appending its batch.
+func (w *WAL) LogSize() int64 {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	return w.size
 }
 
 // AddStats folds the WAL's cumulative traffic counters into s, so one
@@ -224,6 +267,7 @@ func (w *WAL) AddStats(s *Stats) {
 	s.WALCommits += w.commits.Load()
 	s.WALBytes += w.bytes.Load()
 	s.WALSyncs += w.syncs.Load()
+	s.WALGroupedCommits += w.grouped.Load()
 }
 
 // ResetStats zeroes the traffic counters (benchmark phases); the log
@@ -234,6 +278,8 @@ func (w *WAL) ResetStats() {
 	w.commits.Store(0)
 	w.bytes.Store(0)
 	w.syncs.Store(0)
+	w.grouped.Store(0)
+	w.groupSizes.Reset()
 }
 
 // AppendPage logs the full image of one page.
@@ -260,28 +306,91 @@ func (w *WAL) AppendCommit(txID int64, snapshot []byte) error {
 	if err := w.append(walRecCommit, payload); err != nil {
 		return err
 	}
+	w.gmu.Lock()
+	w.unsyncedCommits++
+	w.gmu.Unlock()
 	w.commits.Inc()
 	return nil
 }
 
 // Sync makes all appended records durable; a commit is acknowledged only
-// after its Sync returns.
+// after its Sync returns. It is the serial entry point to the group
+// protocol: equivalent to SyncShared at the current log end.
 func (w *WAL) Sync() error {
-	if err := w.sink.Sync(); err != nil {
+	w.gmu.Lock()
+	target := w.size
+	w.gmu.Unlock()
+	return w.SyncShared(target)
+}
+
+// SyncShared makes the log durable at least up to target (a LogSize
+// taken after the caller's batch was appended), sharing fsyncs between
+// concurrent committers: the first committer to arrive while no sync is
+// in flight becomes the leader and fsyncs everything appended so far;
+// committers that arrive during that fsync wait for the epoch to finish
+// and usually find their batch already covered (follower path — their
+// commit cost no fsync of its own). A failed fsync poisons the whole
+// batch: every waiter (and every later caller) gets the error, because
+// none of their records are known durable; the engine then marks the
+// WAL broken and truncates the suspect tail.
+func (w *WAL) SyncShared(target int64) error {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.synced >= target {
+			return nil // covered by a leader's fsync (or already durable)
+		}
+		if !w.syncing {
+			break // become the leader for the next epoch
+		}
+		w.syncDone.Wait()
+	}
+	w.syncing = true
+	upTo, upToSeq := w.size, w.seq
+	batch := w.unsyncedCommits
+	w.unsyncedCommits = 0
+	w.gmu.Unlock()
+	err := w.sink.Sync() // the one shared fsync; no locks held
+	w.gmu.Lock()
+	w.syncing = false
+	if err != nil {
+		w.syncErr = err
+		w.syncDone.Broadcast()
 		return err
 	}
-	w.synced = w.size
-	w.syncedSeq = w.seq
+	w.synced, w.syncedSeq = upTo, upToSeq
 	w.syncs.Inc()
+	if batch > 0 {
+		w.grouped.Add(batch)
+		w.groupSizes.Observe(batch)
+	}
+	w.syncDone.Broadcast()
 	return nil
 }
 
+// GroupSizes returns the distribution of commit-batch sizes (commit
+// records covered per fsync epoch).
+func (w *WAL) GroupSizes() obs.HistogramSnapshot { return w.groupSizes.Snapshot() }
+
 // TruncateToSynced discards every byte appended after the last
-// successful Sync. The engine calls it when an append or sync fails: the
+// successful sync. The engine calls it when an append or sync fails: the
 // suspect tail — which may or may not have reached durable media — is
 // cut off, so a commit record the client was never acknowledged for
-// cannot be replayed as committed after reopening. Idempotent.
+// cannot be replayed as committed after reopening. An in-flight sync
+// epoch is waited out first, so the truncation point reflects that
+// epoch's outcome (a successful fsync keeps its batch; a failed one
+// leaves the horizon where it was and the whole batch is cut).
+// Idempotent. Callers must serialize against appends (the engine holds
+// walMu).
 func (w *WAL) TruncateToSynced() error {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	for w.syncing {
+		w.syncDone.Wait()
+	}
 	if w.size == w.synced {
 		return nil
 	}
@@ -290,6 +399,7 @@ func (w *WAL) TruncateToSynced() error {
 	}
 	w.size = w.synced
 	w.seq = w.syncedSeq
+	w.unsyncedCommits = 0
 	return nil
 }
 
@@ -298,8 +408,11 @@ func (w *WAL) Reset() error {
 	if err := w.sink.Reset(); err != nil {
 		return err
 	}
+	w.gmu.Lock()
 	w.seq, w.syncedSeq = 0, 0
 	w.size, w.synced = 0, 0
+	w.unsyncedCommits = 0
+	w.gmu.Unlock()
 	return nil
 }
 

@@ -86,6 +86,7 @@ type Manager struct {
 	onCommit   []func(txID int64)
 	onRollback []func(txID int64)
 	commitSink func(txID int64, forceDurable bool) error
+	undoScope  func(txID int64) (exit func())
 
 	// Lifecycle counters (atomic: Stats snapshots race with sessions).
 	begins    obs.Counter
@@ -133,6 +134,25 @@ func (m *Manager) sink() func(int64, bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.commitSink
+}
+
+// SetUndoScope installs a hook bracketing every undo replay (RollbackTo
+// and Rollback). The engine points it at its mutation window so undo —
+// which restores page content — is serialized against concurrent
+// writers' commit sweeps: without it, a sweep could log a page while an
+// aborting transaction is half-way through restoring it. The hook must
+// be re-entrant per transaction (a statement that fails inside its own
+// mutation window rolls back inside that window).
+func (m *Manager) SetUndoScope(fn func(txID int64) (exit func())) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoScope = fn
+}
+
+func (m *Manager) scope() func(int64) func() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.undoScope
 }
 
 // NewManager returns a transaction manager.
@@ -206,6 +226,12 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 	}
 	if int(sp) > len(t.undo) {
 		return fmt.Errorf("txn: savepoint %d beyond undo log (%d)", sp, len(t.undo))
+	}
+	if len(t.undo) > int(sp) {
+		if scope := t.mgr.scope(); scope != nil {
+			exit := scope(t.ID)
+			defer exit()
+		}
 	}
 	var firstErr error
 	for i := len(t.undo) - 1; i >= int(sp); i-- {
