@@ -113,6 +113,7 @@ type DB struct {
 	// locks are LockManager locals, deadlock-free by sorted acquisition,
 	// and out of the analyzer's scope.)
 	//
+	//vetx:lockorder engine.DB.admission < engine.DB.admitMu
 	//vetx:lockorder engine.DB.admission < engine.DB.mutMu
 	//vetx:lockorder engine.DB.mutMu < engine.DB.mutStateMu
 	//vetx:lockorder engine.DB.mutMu < engine.DB.walMu
@@ -178,9 +179,12 @@ var ErrTxnOpen = errors.New("engine: checkpoint refused: a write transaction is 
 // (DDL, bitmap-index or domain-index DML). The grant is released when
 // the transaction commits or rolls back — including the rollback a
 // failed commit sink triggers. A shared grant upgrades to exclusive by
-// releasing and re-acquiring; the gap is safe because the transaction
-// holds no other locks here and its page changes stay protected by
-// frame ownership.
+// releasing and re-acquiring; the gap is safe against other writers
+// because the transaction holds no other locks here and its page
+// changes stay protected by frame ownership, and safe against
+// checkpoints because the transaction stays in the admitted map for
+// the whole gap — Checkpoint refuses (ErrTxnOpen) whenever that map is
+// non-empty, even when its TryLock momentarily succeeds.
 func (db *DB) admitTxn(t *txn.Txn, exclusive bool) {
 	if db.wal == nil || t == nil {
 		return
@@ -200,6 +204,13 @@ func (db *DB) admitTxn(t *txn.Txn, exclusive bool) {
 	db.admitMu.Unlock()
 	if !held {
 		release := func() {
+			// Orphan the transaction's frames before admission frees:
+			// the instant admission is released a checkpoint may pass
+			// TryLock, and it must never observe owner-attributed
+			// frames. (The manager-level ReleaseOwner handler that runs
+			// after the per-txn handlers is then a no-op for this
+			// transaction.)
+			db.pager.ReleaseOwner(t.ID)
 			db.admitMu.Lock()
 			wasEx := db.admitted[t]
 			delete(db.admitted, t)
@@ -404,6 +415,11 @@ func Open(opts Options) (*DB, error) {
 		// orphans: a committed txn's frames were disowned by its sweep
 		// (anything left was re-dirtied logging, i.e. committed content),
 		// and a rolled-back txn's frames hold restored pre-images.
+		// Transaction-scoped admissions orphan their frames earlier, in
+		// the per-txn admission release (which must run before admission
+		// frees — see admitTxn); this manager-level handler is the path
+		// that covers statement-scoped (autocommit) writers, which hold
+		// admission until after their transaction finishes.
 		releaseOwner := func(txID int64) { db.pager.ReleaseOwner(txID) }
 		db.txns.OnCommit(releaseOwner)
 		db.txns.OnRollback(releaseOwner)
@@ -570,9 +586,14 @@ func (db *DB) Workspace() *extidx.Workspace { return db.ws }
 // uncommitted page on disk would have no undo to remove it. That rule is
 // enforced, not assumed — Checkpoint holds write admission exclusively
 // for its whole run and returns ErrTxnOpen when any writer is admitted.
-// With admission held, every frame owner has finished (commit sweeps
-// disown on logging, transaction-end handlers orphan the rest), so the
-// owner-0 sweep below covers everything dirty.
+// TryLock alone is not sufficient: a transaction upgrading its shared
+// admission to exclusive releases the lock entirely before re-acquiring,
+// so Checkpoint additionally refuses while the admitted map is non-empty
+// — the upgrader stays in the map across its release/re-acquire gap even
+// though it momentarily holds no lock. With admission held and no
+// transaction admitted, every frame owner has finished (commit sweeps
+// disown on logging, admission release orphans the rest before letting
+// go), so the owner-0 sweep below covers everything dirty.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return db.SaveSnapshot()
@@ -581,6 +602,12 @@ func (db *DB) Checkpoint() error {
 		return ErrTxnOpen
 	}
 	defer db.admission.Unlock()
+	db.admitMu.Lock()
+	open := len(db.admitted)
+	db.admitMu.Unlock()
+	if open > 0 {
+		return ErrTxnOpen // a shared→exclusive upgrade is mid-gap
+	}
 	if invariantsEnabled {
 		if owned := db.pager.OwnedPages(); len(owned) > 0 {
 			panic(fmt.Sprintf("engine: checkpoint with admission held found owned frames %v", owned))

@@ -188,9 +188,13 @@ func (s *Session) admitWrite(tables ...string) func() {
 //     fsync can group with other committers instead of convoying the
 //     window behind the disk.
 //
-// After a successful body, the pager's pending write-conflict (another
-// uncommitted transaction already owns a frame this statement dirtied)
-// is surfaced and aborts the statement with storage.ErrWriteConflict.
+// The pager's pending write-conflict (another uncommitted transaction
+// already owns a frame this statement dirtied) is consumed
+// unconditionally at statement end — a body that fails for an unrelated
+// reason after latching a conflict must not leave it behind to falsely
+// abort the next statement. A clean body with a latched conflict aborts
+// with storage.ErrWriteConflict; when both are set the body's own error
+// wins.
 func (s *Session) runWrite(t *txn.Txn, finish func(err error) error, body func() error) error {
 	db := s.db
 	if db.wal == nil {
@@ -198,8 +202,8 @@ func (s *Session) runWrite(t *txn.Txn, finish func(err error) error, body func()
 	}
 	exit := db.enterMutation(t.ID, false)
 	err := body()
-	if err == nil {
-		err = db.pager.TakeConflict()
+	if cerr := db.pager.TakeConflict(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		err = finish(err) // rollback replays undo inside this window
