@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec
+RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec repro/internal/obs
 
 .PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel bench-writers
 
@@ -34,8 +34,10 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 20s ./internal/sql
 
 ## obs-smoke: run a reduced experiment sweep and fail if any required
-## engine counter (pager, txn, planner, ODCI fetch, parallel exec)
-## stayed at zero — catches silently disconnected instrumentation
+## engine counter (pager, txn, planner, ODCI fetch, parallel exec) or
+## wait-event class (AdmissionShared, WALGroupFsync, WALAppend,
+## MutationWindow, ExchangeWorkerIdle, ODCICallback) stayed at zero —
+## catches silently disconnected instrumentation
 obs-smoke:
 	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1,W1 -json -smoke > /dev/null
 

@@ -10,8 +10,9 @@
 // table plus the engine metrics snapshot accumulated while it ran
 // (pager hit rate, WAL activity, ODCI callback-time breakdowns). With
 // -smoke, the run exits nonzero unless the aggregated metrics show real
-// engine activity (pager fetches and ODCIIndexFetch calls) — CI uses
-// this to catch silently dead instrumentation.
+// engine activity (pager fetches, ODCIIndexFetch calls, and — after the
+// parallel/writer sweeps — live wait-event classes) — CI uses this to
+// catch silently dead instrumentation.
 package main
 
 import (
@@ -141,6 +142,9 @@ func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
 	if fetch.Calls == 0 {
 		return fmt.Errorf("ODCIIndexFetch calls = 0 (ODCI-boundary counters disconnected)")
 	}
+	if err := requireWait(m, "ODCICallback", false); err != nil {
+		return err
+	}
 	if ranParallel {
 		if m.Exec.Exchanges == 0 {
 			return fmt.Errorf("exchanges = 0 (parallel-executor counters disconnected)")
@@ -151,6 +155,9 @@ func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
 		if m.Exec.WorkerBusyNanos == 0 {
 			return fmt.Errorf("worker busy time = 0 (worker counters disconnected)")
 		}
+		if err := requireWait(m, "ExchangeWorkerIdle", false); err != nil {
+			return err
+		}
 	}
 	if ranWriters {
 		if m.Pager.WALSyncs == 0 {
@@ -159,6 +166,36 @@ func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
 		if m.Pager.WALGroupedCommits == 0 || m.CommitGroups.Count == 0 {
 			return fmt.Errorf("grouped commits = 0 (commits-per-fsync counters disconnected)")
 		}
+		for _, class := range []string{"AdmissionShared", "WALGroupFsync"} {
+			if err := requireWait(m, class, true); err != nil {
+				return err
+			}
+		}
+		for _, class := range []string{"WALAppend", "MutationWindow"} {
+			if err := requireWait(m, class, false); err != nil {
+				return err
+			}
+		}
+		if m.FlightEvents == 0 {
+			return fmt.Errorf("flight recorder events = 0 (flight recorder disconnected)")
+		}
+	}
+	return nil
+}
+
+// requireWait checks that a wait-event class actually fired during the
+// sweep; with needTime it additionally demands nonzero blocked time. A
+// dead class means a recording point was disconnected (e.g. a lock
+// acquisition reverted to a bare Lock() without StartWait), not that the
+// workload was contention-free: the writer experiments are built to
+// contend.
+func requireWait(m engine.Metrics, class string, needTime bool) error {
+	wc, ok := m.Waits.Classes[class]
+	if !ok || wc.Count == 0 {
+		return fmt.Errorf("wait class %s never fired (wait-event recording point disconnected)", class)
+	}
+	if needTime && wc.TotalNanos == 0 {
+		return fmt.Errorf("wait class %s fired %d times with zero blocked time (wait timing disconnected)", class, wc.Count)
 	}
 	return nil
 }

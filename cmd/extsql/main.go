@@ -5,8 +5,8 @@
 //
 //	extsql [-db path] [-f script.sql]
 //
-// Meta commands: \tables, \plan <query>, \stats, \batch [n],
-// \parallel [n|auto], \quit.
+// Meta commands: \tables, \plan <query>, \stats, \waits, \flight,
+// \batch [n], \parallel [n|auto], \quit.
 package main
 
 import (
@@ -146,8 +146,19 @@ func meta(db *extdb.DB, s *extdb.Session, cmd string) bool {
 		s.SetParallel(n)
 	case cmd == `\stats`:
 		fmt.Print(db.Metrics().String())
+	case cmd == `\waits`:
+		fmt.Println(db.Metrics().Waits.String())
+	case cmd == `\flight`:
+		lines := db.FlightRecorder().Dump()
+		if len(lines) == 0 {
+			fmt.Println("flight recorder: no events")
+			break
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 	default:
-		fmt.Println("unknown meta command; try \\tables, \\stats, \\plan <query>, \\batch [n], \\parallel [n|auto], \\quit")
+		fmt.Println("unknown meta command; try \\tables, \\stats, \\waits, \\flight, \\plan <query>, \\batch [n], \\parallel [n|auto], \\quit")
 	}
 	return true
 }

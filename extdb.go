@@ -158,4 +158,16 @@ type (
 	PlanCandidate = obs.PlanCandidate
 	// OpNode is one instrumented operator inside a QueryTrace.
 	OpNode = obs.OpNode
+	// WaitSnapshot is the wait-event table inside a Metrics snapshot:
+	// per-class blocked-time counts, totals and maxima (see \waits in
+	// cmd/extsql).
+	WaitSnapshot = obs.WaitSnapshot
+	// WaitCounts is one wait class's slice of a WaitSnapshot.
+	WaitCounts = obs.WaitCounts
+	// FlightRecorder is the always-on ring of recent engine events; read
+	// it via DB.FlightRecorder.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one recorded engine event (commit, group fsync,
+	// checkpoint, write-conflict abort, slow wait, DDL).
+	FlightEvent = obs.FlightEvent
 )

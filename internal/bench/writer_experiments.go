@@ -108,6 +108,20 @@ func WriterSweep(cfg Config) Table {
 			panic(fmt.Sprintf("W1: writers=%d commits/fsync=%.2f — shared sync never grouped (%d commits, %d fsyncs)",
 				w, perFsync, m.Pager.WALGroupedCommits, m.Pager.WALSyncs))
 		}
+		// Wait-event parity: a 16-writer storm against a 1 ms fsync must
+		// spend real time in the group-fsync wait and must have recorded
+		// every shared admission; a dead class here means a recording
+		// point was disconnected, which -smoke alone could miss if an
+		// earlier experiment lit the class.
+		if w >= 16 {
+			for _, class := range []string{"AdmissionShared", "WALGroupFsync"} {
+				wc := m.Waits.Classes[class]
+				if wc.Count == 0 || wc.TotalNanos == 0 {
+					panic(fmt.Sprintf("W1: writers=%d wait class %s dead (count=%d totalNanos=%d) — wait-event recording disconnected",
+						w, class, wc.Count, wc.TotalNanos))
+				}
+			}
+		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(w),
 			fmt.Sprint(commits),

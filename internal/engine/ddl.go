@@ -3,12 +3,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/bitmapidx"
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/extidx"
 	"repro/internal/hashidx"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -59,7 +61,18 @@ func (s *Session) execDDL(st sql.Statement) error {
 	}
 	exit()
 	t.ForceDurable()
+	s.db.flight.Record(obs.EvDDL, t.ID, 0, ddlTag(st))
 	return t.Commit()
+}
+
+// ddlTag names a DDL statement kind for the flight recorder, e.g.
+// "CreateIndex" from *sql.CreateIndex.
+func ddlTag(st sql.Statement) string {
+	name := fmt.Sprintf("%T", st)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
 }
 
 func (s *Session) dispatchDDL(st sql.Statement) error {

@@ -188,7 +188,7 @@ func (s *Session) execInsert(x *sql.Insert, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var inserted int64
-	err := s.runWrite(t, finish, func() error {
+	err := s.runWrite(t, finish, tbl.Name, func() error {
 		emptySchema := &exec.Schema{}
 		for _, rowExprs := range x.Rows {
 			if len(rowExprs) != len(colPos) {
@@ -246,7 +246,7 @@ func (s *Session) InsertRow(table string, row []types.Value) error {
 		}
 	}
 	t, finish := s.begin()
-	return s.runWrite(t, finish, func() error {
+	return s.runWrite(t, finish, tbl.Name, func() error {
 		return s.insertRow(tbl, full, t)
 	})
 }
@@ -359,7 +359,7 @@ func (s *Session) execUpdate(x *sql.Update, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var updated int64
-	err = s.runWrite(t, finish, func() error {
+	err = s.runWrite(t, finish, tbl.Name, func() error {
 		for i, rid := range rids {
 			oldRow := rows[i]
 			full := append(append([]types.Value(nil), oldRow...), types.Int(rid.Int64()))
@@ -438,7 +438,7 @@ func (s *Session) execDelete(x *sql.Delete, params []types.Value) (Result, error
 	}
 	t, finish := s.begin()
 	var deleted int64
-	err = s.runWrite(t, finish, func() error {
+	err = s.runWrite(t, finish, tbl.Name, func() error {
 		for i, rid := range rids {
 			oldRow := rows[i]
 			for _, ix := range s.db.cat.TableIndexes(tbl.Name) {

@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,13 @@ type Options struct {
 	// DisableWAL turns write-ahead logging off entirely, restoring the
 	// pre-WAL behaviour (durability only at Checkpoint/Close).
 	DisableWAL bool
+	// DisableWaitEvents turns wait-event recording off (the per-class
+	// table stays empty; StartWait sites still run but record nothing).
+	// Exists for overhead A/B measurement — production leaves it off.
+	DisableWaitEvents bool
+	// FlightRecorderSize overrides the flight-recorder ring capacity
+	// (rounded up to a power of two; default obs.DefaultFlightSize).
+	FlightRecorderSize int
 }
 
 // DB is one database instance.
@@ -145,13 +153,21 @@ type DB struct {
 	// counters are atomic).
 	execStats obs.ExecStats
 
-	selects        obs.Counter // SELECTs executed (any session)
-	tracedQueries  obs.Counter // SELECTs run with a QueryTrace attached
-	slowQueries    obs.Counter // traces handed to the slow-query hook
-	admitWaits     obs.Counter // write-admission acquisitions
-	admitWaitNanos obs.Counter // cumulative wall time spent acquiring admission
-	mutWaits       obs.Counter // mutation-window acquisitions (non-re-entrant)
-	mutWaitNanos   obs.Counter // cumulative wall time spent acquiring the window
+	selects       obs.Counter // SELECTs executed (any session)
+	tracedQueries obs.Counter // SELECTs run with a QueryTrace attached
+	slowQueries   obs.Counter // traces handed to the slow-query hook
+
+	// waits is the wait-event table: every blocking point — admission,
+	// the mutation window, the WAL append mutex and group fsync, the
+	// pager latch, table locks, exchange handoffs, the ODCI boundary —
+	// records its blocked intervals here per class. conflicts counts
+	// write-conflict aborts per table. flight is the always-on ring of
+	// recent engine events (commits, group fsyncs, checkpoints,
+	// conflicts, slow waits, DDL), dumped by the slow-query hook and
+	// LeakCheck failures.
+	waits     obs.WaitStats
+	conflicts obs.ConflictStats
+	flight    *obs.FlightRecorder
 
 	// hookCfg holds the slow-query hook; atomic so the per-SELECT check
 	// is a single pointer load when no hook is installed.
@@ -163,6 +179,16 @@ type slowHookCfg struct {
 	threshold time.Duration
 	fn        func(*obs.QueryTrace)
 }
+
+// slowWaitThreshold is the blocked-time bound past which a wait also
+// lands in the flight recorder as an EvSlowWait event. 10ms is an
+// eternity for an in-memory lock and on the order of one slow fsync —
+// long enough that ordinary contention stays out of the ring.
+const slowWaitThreshold = 10 * time.Millisecond
+
+// flightTailEvents is how many trailing flight-recorder events ride
+// along with slow-query traces and LeakCheck failures.
+const flightTailEvents = 16
 
 // ErrWALBroken is returned by commits after a write-ahead-log write has
 // failed; reopen the database to recover.
@@ -226,17 +252,24 @@ func (db *DB) admitTxn(t *txn.Txn, exclusive bool) {
 	}
 }
 
-// admitAcquire takes the admission lock in the requested mode, counting
-// acquisitions and the wall time spent waiting.
+// admitAcquire takes the admission lock in the requested mode, recording
+// the acquisition (and its blocked time) as a wait event. Every
+// acquisition is recorded, not just contended ones: the class count is
+// the admission count the metrics report, and an uncontended Lock adds
+// only the timing overhead to a path that is about to take a lock
+// anyway.
 func (db *DB) admitAcquire(exclusive bool) {
-	waitStart := time.Now()
+	class := obs.WaitAdmissionShared
+	if exclusive {
+		class = obs.WaitAdmissionExclusive
+	}
+	aw := db.waits.StartWait(class)
 	if exclusive {
 		db.admission.Lock()
 	} else {
 		db.admission.RLock()
 	}
-	db.admitWaits.Inc()
-	db.admitWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+	aw.Done()
 	//vetx:ignore lockbalance -- acquisition helper: callers pair it with admitRelease or transfer ownership
 }
 
@@ -293,10 +326,9 @@ func (db *DB) enterMutation(txID int64, undo bool) (exit func()) {
 		}
 	}
 	db.mutStateMu.Unlock()
-	waitStart := time.Now()
+	aw := db.waits.StartWait(obs.WaitMutationWindow)
 	db.mutMu.Lock()
-	db.mutWaits.Inc()
-	db.mutWaitNanos.Add(time.Since(waitStart).Nanoseconds())
+	aw.Done()
 	db.mutStateMu.Lock()
 	db.mutOwner, db.mutDepth = txID, 1
 	db.mutStateMu.Unlock()
@@ -384,8 +416,23 @@ func Open(opts Options) (*DB, error) {
 	// Every IndexMethods/StatsMethods resolve from here on hands out an
 	// instrumented wrapper feeding the per-callback counters.
 	db.reg.SetObserver(&db.odci)
+	// Wait-event and flight-recorder wiring: every layer that can block
+	// reports into the one table, and the recorder is always on (its
+	// idle cost is one pointer's worth of state per DB). All of this
+	// happens before any session exists, so the plain-field stores are
+	// safe.
+	db.flight = obs.NewFlightRecorder(opts.FlightRecorderSize)
+	db.waits.SetDisabled(opts.DisableWaitEvents)
+	db.waits.SetSlowWaitThreshold(slowWaitThreshold)
+	db.waits.AttachFlight(db.flight)
+	db.odci.AttachWaits(&db.waits)
+	pager.SetWaitStats(&db.waits)
+	db.locks.SetWaitStats(&db.waits)
+	db.txns.OnCommit(func(txID int64) { db.flight.Record(obs.EvCommit, txID, 0, "") })
+	db.txns.OnRollback(func(txID int64) { db.flight.Record(obs.EvRollback, txID, 0, "") })
 	if sink != nil {
 		db.wal = storage.NewWAL(sink, recovery.LastSeq, recovery.IntactBytes)
+		db.wal.SetObs(&db.waits, db.flight)
 		// Redo-only logging is correct only if uncommitted changes never
 		// reach the page file: no-steal buffer pool.
 		pager.SetNoSteal(true)
@@ -491,7 +538,9 @@ func (db *DB) logCommit(txID int64, forceDurable bool) error {
 // serialize on) and returns the log length to sync up to — 0 when the
 // transaction has nothing to log.
 func (db *DB) appendCommitBatch(txID int64, forceDurable bool) (int64, error) {
+	aw := db.waits.StartWait(obs.WaitWALAppend)
 	db.walMu.Lock()
+	aw.Done()
 	defer db.walMu.Unlock()
 	if db.walBroken {
 		return 0, ErrWALBroken
@@ -560,13 +609,60 @@ func (db *DB) ResetPagerStats() {
 // tests call it between workload phases.
 func (db *DB) LeakCheck() error {
 	if leaked := db.pager.PinnedPages(); len(leaked) > 0 {
-		return fmt.Errorf("engine: %d pinned page(s) at rest: %v", len(leaked), leaked)
+		return db.withFlightDump(fmt.Errorf("engine: %d pinned page(s) at rest: %v", len(leaked), leaked))
 	}
 	if owned := db.pager.OwnedPages(); len(owned) > 0 {
-		return fmt.Errorf("engine: %d owner-attributed frame(s) at rest: %v", len(owned), owned)
+		return db.withFlightDump(fmt.Errorf("engine: %d owner-attributed frame(s) at rest: %v", len(owned), owned))
 	}
 	return nil
 }
+
+// withFlightDump appends the tail of the flight recorder to a failure:
+// the recent commits/rollbacks/conflicts are usually exactly the
+// context needed to see which workload phase left the state behind.
+func (db *DB) withFlightDump(err error) error {
+	tail := flightTail(db.flight, flightTailEvents)
+	if len(tail) == 0 {
+		return err
+	}
+	lines := make([]string, len(tail))
+	for i, e := range tail {
+		lines[i] = "  " + e.String()
+	}
+	return fmt.Errorf("%w\nflight recorder (last %d events):\n%s", err, len(tail), strings.Join(lines, "\n"))
+}
+
+// flightTail returns the most recent n events, oldest first.
+func flightTail(f *obs.FlightRecorder, n int) []obs.FlightEvent {
+	evs := f.Events()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// noteCheckpointBlocked records one refused checkpoint attempt: a
+// zero-duration CheckpointBlocked wait (the caller was turned away, not
+// parked) plus a flight event.
+func (db *DB) noteCheckpointBlocked() {
+	db.waits.Record(obs.WaitCheckpointBlocked, 0)
+	db.flight.Record(obs.EvCheckpoint, 0, 0, "refused")
+}
+
+// noteWriteConflict records one transaction aborted by
+// storage.ErrWriteConflict against the table whose statement hit it.
+func (db *DB) noteWriteConflict(table string) {
+	db.conflicts.RecordAbort(sql.Norm(table))
+	db.flight.Record(obs.EvWriteConflict, 0, 0, sql.Norm(table))
+}
+
+// FlightRecorder exposes the always-on event ring (`\flight`, tests).
+func (db *DB) FlightRecorder() *obs.FlightRecorder { return db.flight }
+
+// Waits exposes the live wait-event table. External retry loops use it
+// to record WaitWriteConflictBackoff around their backoff sleeps, so
+// retry burden shows up in the same breakdown as engine-internal waits.
+func (db *DB) Waits() *obs.WaitStats { return &db.waits }
 
 // LOBStore exposes the database LOB store.
 func (db *DB) LOBStore() *loblib.LOBStore { return db.lobs }
@@ -599,6 +695,7 @@ func (db *DB) Checkpoint() error {
 		return db.SaveSnapshot()
 	}
 	if !db.admission.TryLock() {
+		db.noteCheckpointBlocked()
 		return ErrTxnOpen
 	}
 	defer db.admission.Unlock()
@@ -606,8 +703,10 @@ func (db *DB) Checkpoint() error {
 	open := len(db.admitted)
 	db.admitMu.Unlock()
 	if open > 0 {
+		db.noteCheckpointBlocked()
 		return ErrTxnOpen // a shared→exclusive upgrade is mid-gap
 	}
+	db.flight.Record(obs.EvCheckpoint, 0, 0, "")
 	if invariantsEnabled {
 		if owned := db.pager.OwnedPages(); len(owned) > 0 {
 			panic(fmt.Sprintf("engine: checkpoint with admission held found owned frames %v", owned))

@@ -56,11 +56,24 @@ type Metrics struct {
 	// fsync (group-commit batch sizes). Mean() > 1 means fsyncs are being
 	// shared; zero-valued when no WAL governs the database.
 	CommitGroups obs.HistogramSnapshot
+	// Waits is the wait-event table: per-class blocked-time counts,
+	// totals and maxima, plus the all-class duration histogram.
+	Waits obs.WaitSnapshot
+	// Conflicts counts write-conflict aborts, broken down per table.
+	Conflicts obs.ConflictSnapshot
+	// FlightEvents is the total number of events the flight recorder has
+	// ever seen (a liveness gauge — the ring itself is read via
+	// DB.FlightRecorder).
+	FlightEvents int64
 }
 
 // Metrics snapshots every observability counter in the database.
 func (db *DB) Metrics() Metrics {
 	live, high := db.ws.Stats()
+	waits := db.waits.Snapshot()
+	admShared := waits.Classes[obs.WaitAdmissionShared.String()]
+	admExcl := waits.Classes[obs.WaitAdmissionExclusive.String()]
+	window := waits.Classes[obs.WaitMutationWindow.String()]
 	return Metrics{
 		Pager:   db.PagerStats(),
 		Txn:     db.txns.Stats(),
@@ -70,15 +83,20 @@ func (db *DB) Metrics() Metrics {
 			Selects:       db.selects.Load(),
 			TracedQueries: db.tracedQueries.Load(),
 			SlowQueries:   db.slowQueries.Load(),
-			AdmitWaits:     db.admitWaits.Load(),
-			AdmitWaitNanos: db.admitWaitNanos.Load(),
-			MutWaits:       db.mutWaits.Load(),
-			MutWaitNanos:   db.mutWaitNanos.Load(),
+			// The legacy admission/window gauges are views over the wait
+			// table: the class counts are the acquisition counts.
+			AdmitWaits:     admShared.Count + admExcl.Count,
+			AdmitWaitNanos: admShared.TotalNanos + admExcl.TotalNanos,
+			MutWaits:       window.Count,
+			MutWaitNanos:   window.TotalNanos,
 			FetchCalls:     db.FetchCalls(),
 		},
 		Exec:         db.execStats.Snapshot(),
 		Workspace:    WorkspaceStats{Live: live, HighWater: high},
 		CommitGroups: db.commitGroups(),
+		Waits:        waits,
+		Conflicts:    db.conflicts.Snapshot(),
+		FlightEvents: int64(db.flight.Len()),
 	}
 }
 
@@ -102,10 +120,8 @@ func (db *DB) ResetMetrics() {
 	db.selects.Store(0)
 	db.tracedQueries.Store(0)
 	db.slowQueries.Store(0)
-	db.admitWaits.Store(0)
-	db.admitWaitNanos.Store(0)
-	db.mutWaits.Store(0)
-	db.mutWaitNanos.Store(0)
+	db.waits.Reset()
+	db.conflicts.Reset()
 	db.execStats.Reset()
 	db.ResetFetchCalls()
 }
@@ -156,6 +172,9 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Engine.FetchCalls += o.Engine.FetchCalls
 	m.CommitGroups.Merge(o.CommitGroups)
 	m.Exec.Merge(o.Exec)
+	m.Waits.Merge(o.Waits)
+	m.Conflicts.Merge(o.Conflicts)
+	m.FlightEvents += o.FlightEvents
 	if o.Workspace.Live > m.Workspace.Live {
 		m.Workspace.Live = o.Workspace.Live
 	}
@@ -180,6 +199,10 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "         groupedCommits=%d commitsPerFsync=%.2f\n",
 			m.Pager.WALGroupedCommits, float64(m.Pager.WALGroupedCommits)/float64(m.Pager.WALSyncs))
 	}
+	if m.CommitGroups.Count > 0 {
+		fmt.Fprintf(&b, "         commitGroups=%d meanGroupSize=%.2f\n",
+			m.CommitGroups.Count, m.CommitGroups.Mean())
+	}
 	fmt.Fprintf(&b, "txn:     begins=%d commits=%d rollbacks=%d\n",
 		m.Txn.Begins, m.Txn.Commits, m.Txn.Rollbacks)
 	fmt.Fprintf(&b, "engine:  selects=%d traced=%d slow=%d fetchCalls=%d\n",
@@ -202,6 +225,16 @@ func (m Metrics) String() string {
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "workspace: live=%d highWater=%d\n", m.Workspace.Live, m.Workspace.HighWater)
+	fmt.Fprintf(&b, "conflicts: %s\n", m.Conflicts.String())
+	fmt.Fprintf(&b, "flight:  events=%d\n", m.FlightEvents)
+	if len(m.Waits.Classes) > 0 {
+		b.WriteString("waits (top by total time):\n")
+		for _, line := range strings.Split(m.Waits.String(), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+		fmt.Fprintf(&b, "  all-class histogram: waits=%d totalBlocked=%s\n",
+			m.Waits.Durations.Count, time.Duration(m.Waits.Durations.Sum).Round(time.Microsecond))
+	}
 	if len(m.ODCI.Callbacks) > 0 {
 		b.WriteString("odci callbacks:\n")
 		for _, line := range strings.Split(strings.TrimRight(m.ODCI.String(), "\n"), "\n") {

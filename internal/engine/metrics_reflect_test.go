@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// These tests walk the Metrics struct with reflection so that adding an
+// observability field without teaching Metrics.Merge and Metrics.String
+// about it fails CI instead of silently dropping data in benchrunner
+// aggregates or hiding the counter from \stats.
+
+// fillLeaves sets every exported numeric leaf under v to a distinct
+// nonzero value, creating one "K"-keyed entry per map and a single
+// element per slice.
+func fillLeaves(v reflect.Value, next *int64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).PkgPath != "" {
+				continue // unexported: not part of the snapshot contract
+			}
+			fillLeaves(v.Field(i), next)
+		}
+	case reflect.Map:
+		v.Set(reflect.MakeMap(v.Type()))
+		elem := reflect.New(v.Type().Elem()).Elem()
+		fillLeaves(elem, next)
+		v.SetMapIndex(reflect.ValueOf("K").Convert(v.Type().Key()), elem)
+	case reflect.Slice:
+		elem := reflect.New(v.Type().Elem()).Elem()
+		fillLeaves(elem, next)
+		v.Set(reflect.Append(reflect.MakeSlice(v.Type(), 0, 1), elem))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(*next * 7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		v.SetUint(uint64(*next * 7))
+	case reflect.Float32, reflect.Float64:
+		*next++
+		v.SetFloat(float64(*next))
+	}
+}
+
+// fixHistogramBounds rewrites every int64 field named UpperBound to a
+// real histogram bucket bound: HistogramSnapshot.Merge re-buckets by
+// bound and silently drops entries whose bound matches no bucket, so a
+// filled snapshot must carry valid bounds to survive a merge. Maps are
+// skipped — no histogram lives inside a map value today, and map
+// elements are not settable in place.
+func fixHistogramBounds(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if f.PkgPath != "" {
+				continue
+			}
+			if f.Name == "UpperBound" && v.Field(i).Kind() == reflect.Int64 {
+				v.Field(i).SetInt(obs.BucketUpperBound(3))
+				continue
+			}
+			fixHistogramBounds(v.Field(i))
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fixHistogramBounds(v.Index(i))
+		}
+	}
+}
+
+func filledMetrics() Metrics {
+	var m Metrics
+	var next int64
+	fillLeaves(reflect.ValueOf(&m).Elem(), &next)
+	fixHistogramBounds(reflect.ValueOf(&m).Elem())
+	return m
+}
+
+// collectLeaves returns path -> value for every exported numeric leaf.
+func collectLeaves(path string, v reflect.Value, out map[string]float64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if f.PkgPath != "" {
+				continue
+			}
+			collectLeaves(path+"."+f.Name, v.Field(i), out)
+		}
+	case reflect.Map:
+		keys := v.MapKeys()
+		sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
+		for _, k := range keys {
+			collectLeaves(fmt.Sprintf("%s[%v]", path, k), v.MapIndex(k), out)
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			collectLeaves(fmt.Sprintf("%s[%d]", path, i), v.Index(i), out)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		out[path] = float64(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		out[path] = float64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		out[path] = v.Float()
+	}
+}
+
+// leafPaths lists the leaves of a filled Metrics in deterministic walk
+// order (the order bumpLeaf visits them).
+func leafPaths(m Metrics) []string {
+	var paths []string
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				f := v.Type().Field(i)
+				if f.PkgPath != "" {
+					continue
+				}
+				walk(path+"."+f.Name, v.Field(i))
+			}
+		case reflect.Map:
+			keys := v.MapKeys()
+			sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
+			for _, k := range keys {
+				walk(fmt.Sprintf("%s[%v]", path, k), v.MapIndex(k))
+			}
+		case reflect.Slice:
+			for i := 0; i < v.Len(); i++ {
+				walk(fmt.Sprintf("%s[%d]", path, i), v.Index(i))
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64:
+			paths = append(paths, path)
+		}
+	}
+	walk("Metrics", reflect.ValueOf(&m).Elem())
+	return paths
+}
+
+// bumpLeaf adds a large delta to the target-th leaf in walk order
+// (large, so values rendered as microsecond-rounded durations visibly
+// change too). Map elements are copied, bumped, and stored back.
+func bumpLeaf(v reflect.Value, target int, idx *int) bool {
+	const delta = int64(1) << 32 // ~4.3 s when interpreted as nanos
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).PkgPath != "" {
+				continue
+			}
+			if bumpLeaf(v.Field(i), target, idx) {
+				return true
+			}
+		}
+	case reflect.Map:
+		keys := v.MapKeys()
+		sort.Slice(keys, func(i, j int) bool { return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j]) })
+		for _, k := range keys {
+			elem := reflect.New(v.Type().Elem()).Elem()
+			elem.Set(v.MapIndex(k))
+			if bumpLeaf(elem, target, idx) {
+				v.SetMapIndex(k, elem)
+				return true
+			}
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			if bumpLeaf(v.Index(i), target, idx) {
+				return true
+			}
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if *idx == target {
+			v.SetInt(v.Int() + delta)
+			*idx++
+			return true
+		}
+		*idx++
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if *idx == target {
+			v.SetUint(v.Uint() + uint64(delta))
+			*idx++
+			return true
+		}
+		*idx++
+	case reflect.Float32, reflect.Float64:
+		if *idx == target {
+			v.SetFloat(v.Float() + float64(delta))
+			*idx++
+			return true
+		}
+		*idx++
+	}
+	return false
+}
+
+// TestMetricsMergeCoversEveryField: merging a fully-populated snapshot
+// into a zero one must leave every numeric leaf nonzero. A zero leaf
+// means the field was added to Metrics but not to Merge — benchrunner
+// would silently drop it when aggregating per-experiment snapshots.
+func TestMetricsMergeCoversEveryField(t *testing.T) {
+	b := filledMetrics()
+	want := map[string]float64{}
+	collectLeaves("Metrics", reflect.ValueOf(&b).Elem(), want)
+	if len(want) < 40 {
+		t.Fatalf("walker found only %d leaves — reflection walk broken?", len(want))
+	}
+
+	var a Metrics
+	a.Merge(b)
+	got := map[string]float64{}
+	collectLeaves("Metrics", reflect.ValueOf(&a).Elem(), got)
+	for path := range want {
+		v, ok := got[path]
+		if !ok {
+			t.Errorf("Metrics.Merge dropped %s entirely", path)
+			continue
+		}
+		if v == 0 {
+			t.Errorf("Metrics.Merge does not fold %s (still zero after merging a populated snapshot)", path)
+		}
+	}
+}
+
+// TestMetricsStringCoversEveryField: changing any numeric leaf of a
+// fully-populated snapshot must change the rendered report. An
+// invariant output means the field is invisible to \stats. Histogram
+// bucket entries are exempt: only a histogram's Count/Sum render (the
+// per-bucket distribution is detail String deliberately elides).
+func TestMetricsStringCoversEveryField(t *testing.T) {
+	base := filledMetrics()
+	baseOut := base.String()
+	paths := leafPaths(base)
+	for target, path := range paths {
+		if strings.Contains(path, ".Buckets[") {
+			continue
+		}
+		m := filledMetrics()
+		idx := 0
+		if !bumpLeaf(reflect.ValueOf(&m).Elem(), target, &idx) {
+			t.Fatalf("walker never reached leaf %d (%s)", target, path)
+		}
+		if m.String() == baseOut {
+			t.Errorf("Metrics.String() does not render %s (output unchanged when it changes)", path)
+		}
+	}
+}

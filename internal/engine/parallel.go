@@ -146,6 +146,7 @@ func (s *Session) buildParallelTableAccess(tb *tableBinding, conjuncts []sql.Exp
 		BatchSize: path.batch,
 		OnClose:   onClose,
 		Stats:     &s.db.execStats,
+		Waits:     &s.db.waits,
 	}
 	return s.instrScan(ex, path), path, agg != nil, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; timing-
+// sensitive tests (the wait-accounting overhead bound) skip themselves
+// under -race, where every atomic costs an instrumented call.
+const raceEnabled = true

@@ -72,6 +72,7 @@ func (s *Session) drainResult(it exec.Iterator, schema *exec.Schema) (*ResultSet
 func (s *Session) runSelectTraced(sel *sql.Select, params []types.Value, tr *obs.QueryTrace) (*ResultSet, error) {
 	s.db.tracedQueries.Inc()
 	before := s.db.PagerStats()
+	wbefore := s.db.waits.Snapshot()
 	start := time.Now()
 	s.trace = tr
 	defer func() { s.trace = nil }()
@@ -97,6 +98,10 @@ func (s *Session) runSelectTraced(sel *sql.Select, params []types.Value, tr *obs
 		WALBytes:     after.WALBytes - before.WALBytes,
 		WALSyncs:     after.WALSyncs - before.WALSyncs,
 	}
+	// The wait delta across the query puts blocked time next to the
+	// operator timings (same caveat as the pager delta: concurrent
+	// sessions bleed in).
+	tr.Waits = s.db.waits.Snapshot().Delta(wbefore)
 	if err != nil {
 		tr.Err = err.Error()
 	} else {
@@ -104,6 +109,9 @@ func (s *Session) runSelectTraced(sel *sql.Select, params []types.Value, tr *obs
 	}
 	if cfg := s.db.hookCfg.Load(); cfg != nil && !s.isCallback && tr.Elapsed >= cfg.threshold {
 		s.db.slowQueries.Inc()
+		// A slow query's trace carries the recent engine events: what the
+		// rest of the database was doing while this query crawled.
+		tr.Flight = flightTail(s.db.flight, flightTailEvents)
 		cfg.fn(tr)
 	}
 	return rs, err

@@ -194,16 +194,21 @@ func (s *Session) admitWrite(tables ...string) func() {
 // reason after latching a conflict must not leave it behind to falsely
 // abort the next statement. A clean body with a latched conflict aborts
 // with storage.ErrWriteConflict; when both are set the body's own error
-// wins.
-func (s *Session) runWrite(t *txn.Txn, finish func(err error) error, body func() error) error {
+// wins. Every latched conflict — surfaced or masked by the body's own
+// error — is counted against table, the statement's target, so W1-style
+// runs see the retry burden per table.
+func (s *Session) runWrite(t *txn.Txn, finish func(err error) error, table string, body func() error) error {
 	db := s.db
 	if db.wal == nil {
 		return finish(body())
 	}
 	exit := db.enterMutation(t.ID, false)
 	err := body()
-	if cerr := db.pager.TakeConflict(); err == nil {
-		err = cerr
+	if cerr := db.pager.TakeConflict(); cerr != nil {
+		db.noteWriteConflict(table)
+		if err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		err = finish(err) // rollback replays undo inside this window

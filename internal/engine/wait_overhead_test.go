@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWaitAccountingOverhead pins the "cheap enough to leave on" claim:
+// the same domain-query workload with wait-event recording on must run
+// within a few percent of the same engine with recording disabled
+// (Options.DisableWaitEvents). Recording a wait is a handful of atomic
+// adds, so the two sides should be statistically indistinguishable; the
+// bound only exists to catch an accidental lock, allocation, or
+// syscall creeping onto the recording path.
+//
+// Methodology: interleaved rounds (enabled batch, disabled batch, …)
+// with the minimum round time on each side — the minimum strips
+// scheduler and GC noise, which is far larger than the effect being
+// bounded. Skipped in -short and under the race detector, where every
+// atomic is an instrumented call and timing means nothing.
+func TestWaitAccountingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement: skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing measurement: meaningless under -race")
+	}
+
+	setup := func(disable bool) *Session {
+		db, err := Open(Options{DisableWaitEvents: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		m := &kwMethods{failNext: map[string]bool{}}
+		s := setupKwCartridge(t, db, m)
+		mustExec(t, s, `CREATE INDEX DocKwIdx ON Docs(body) INDEXTYPE IS KwIndexType`)
+		return s
+	}
+	enabled, disabled := setup(false), setup(true)
+
+	const (
+		queriesPerRound = 200
+		rounds          = 6
+		query           = `SELECT id FROM Docs WHERE HasKw(body, 'unix')`
+	)
+	batch := func(s *Session) time.Duration {
+		start := time.Now()
+		for i := 0; i < queriesPerRound; i++ {
+			if _, err := s.Query(query); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Warm both sides (page cache, index state) before timing.
+	batch(enabled)
+	batch(disabled)
+
+	const maxRatio = 1.03
+	var lastOn, lastOff time.Duration
+	for attempt := 0; attempt < 3; attempt++ {
+		minOn, minOff := time.Duration(1<<62), time.Duration(1<<62)
+		for r := 0; r < rounds; r++ {
+			// Alternate which side runs first so cache and GC drift do not
+			// systematically charge one side.
+			first, second := enabled, disabled
+			if r%2 == 1 {
+				first, second = disabled, enabled
+			}
+			d1, d2 := batch(first), batch(second)
+			dOn, dOff := d1, d2
+			if r%2 == 1 {
+				dOn, dOff = d2, d1
+			}
+			if dOn < minOn {
+				minOn = dOn
+			}
+			if dOff < minOff {
+				minOff = dOff
+			}
+		}
+		lastOn, lastOff = minOn, minOff
+		// The millisecond of absolute slack keeps a sub-3%-of-nothing
+		// wobble on a fast batch from failing the run.
+		if float64(minOn) <= float64(minOff)*maxRatio+float64(time.Millisecond) {
+			t.Logf("wait accounting overhead: enabled %v vs disabled %v per %d queries (%.2f%%)",
+				minOn, minOff, queriesPerRound, (float64(minOn)/float64(minOff)-1)*100)
+			return
+		}
+	}
+	t.Errorf("wait-event recording overhead above %.0f%%: enabled %v vs disabled %v per %d queries",
+		(maxRatio-1)*100, lastOn, lastOff, queriesPerRound)
+}

@@ -122,6 +122,10 @@ type Exchange struct {
 	OnClose func() error
 	// Stats, when set, receives exchange/morsel/busy counters.
 	Stats *obs.ExecStats
+	// Waits, when set, receives each worker's chunk-handoff time as
+	// WaitExchangeWorkerIdle: the interval a worker spends blocked on
+	// the output channel waiting for the consumer (backpressure).
+	Waits *obs.WaitStats
 	// Node, when set, is this operator's trace node: the per-worker
 	// sub-nodes (rows, batches, morsels, busy time accumulated without
 	// sharing) are merged into it at Close. The node's own Rows/Nanos
@@ -257,9 +261,17 @@ func (e *Exchange) runMorsel(it Iterator, node *obs.OpNode) error {
 		}
 		node.Rows += int64(ck.Len())
 		node.Batches++
+		// The handoff is the worker's idle time: with a slow consumer the
+		// bounded channel fills and the send blocks. Every send is timed
+		// (per-chunk, so the cost is amortized over the batch) — the class
+		// must register even when the consumer keeps up, or a dead
+		// recording path would be indistinguishable from a fast consumer.
+		aw := e.Waits.StartWait(obs.WaitExchangeWorkerIdle)
 		select {
 		case e.out <- ck: // ownership of ck transfers to the consumer
+			aw.Done()
 		case <-e.done:
+			aw.Done()
 			return it.Close()
 		}
 	}

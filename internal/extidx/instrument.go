@@ -11,7 +11,11 @@ import (
 // an ODCI-boundary observer is installed (Registry.SetObserver). Each
 // wrapper times one callback invocation and records it into the shared
 // obs.ODCIStats aggregate; the wrappers themselves carry no state, so a
-// fresh wrapper per resolve is safe and cheap.
+// fresh wrapper per resolve is safe and cheap. When the engine attaches
+// its wait table to the aggregate (ODCIStats.AttachWaits), every
+// interval recorded here is additionally accounted as a WaitODCICallback
+// wait event — cartridge time appears in the same breakdown as lock and
+// fsync stalls, without the wrappers knowing about the wait table.
 
 // instrumentedMethods times every IndexMethods callback.
 type instrumentedMethods struct {

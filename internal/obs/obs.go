@@ -46,6 +46,16 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 // Store overwrites the value (ResetStats paths).
 func (c *Counter) Store(n int64) { c.v.Store(n) }
 
+// StoreMax raises the value to n if n is larger (high-water marks).
+func (c *Counter) StoreMax(n int64) {
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1),
 // the last bucket absorbs everything larger.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,7 +78,14 @@ type ODCIStats struct {
 	fetchBatch  Histogram // RIDs returned per ODCIIndexFetch call
 	stateValue  Counter   // scans started with a StateValue context
 	stateHandle Counter   // scans started with a StateHandle context
+
+	waits atomic.Pointer[WaitStats] // receives WaitODCICallback when set
 }
+
+// AttachWaits routes callback wall time into the engine wait table as
+// WaitODCICallback, so cartridge time shows up in the same breakdown as
+// lock and fsync stalls.
+func (o *ODCIStats) AttachWaits(w *WaitStats) { o.waits.Store(w) }
 
 // Record notes one callback invocation and its wall time.
 func (o *ODCIStats) Record(cb Callback, d time.Duration) {
@@ -86,6 +94,7 @@ func (o *ODCIStats) Record(cb Callback, d time.Duration) {
 	}
 	o.calls[cb].Inc()
 	o.nanos[cb].Add(d.Nanoseconds())
+	o.waits.Load().Record(WaitODCICallback, d.Nanoseconds())
 }
 
 // ObserveFetchBatch records the RID count of one Fetch result.

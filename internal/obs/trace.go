@@ -30,6 +30,12 @@ type QueryTrace struct {
 	// Pager is the approximate buffer-pool/WAL delta attributable to the
 	// query (snapshot difference; concurrent sessions can bleed in).
 	Pager ResourceDelta
+	// Waits is the wait-event delta across the query (same caveat as
+	// Pager: concurrent sessions can bleed in).
+	Waits WaitSnapshot
+	// Flight holds the most recent flight-recorder events at the time the
+	// query finished; attached only by the slow-query hook.
+	Flight []FlightEvent
 }
 
 // NewQueryTrace returns an empty trace for the given statement text.
@@ -165,6 +171,18 @@ func (t *QueryTrace) Render() []string {
 	lines = append(lines, fmt.Sprintf("pager: fetches=%d hits=%d misses=%d writes=%d; wal: records=%d bytes=%d syncs=%d",
 		t.Pager.PagerFetches, t.Pager.PagerHits, t.Pager.PagerMisses, t.Pager.PagerWrites,
 		t.Pager.WALRecords, t.Pager.WALBytes, t.Pager.WALSyncs))
+	if len(t.Waits.Classes) > 0 {
+		lines = append(lines, "WAIT EVENTS:")
+		for _, l := range strings.Split(t.Waits.String(), "\n") {
+			lines = append(lines, "  "+l)
+		}
+	}
+	if len(t.Flight) > 0 {
+		lines = append(lines, "FLIGHT RECORDER (recent events):")
+		for _, e := range t.Flight {
+			lines = append(lines, "  "+e.String())
+		}
+	}
 	return lines
 }
 

@@ -16,7 +16,6 @@ import (
 	"os"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/obs"
 )
@@ -283,6 +282,11 @@ type Pager struct {
 	// conflict holds the first cross-transaction dirtying observed in the
 	// current window; TakeConflict consumes it at statement end.
 	conflict error
+
+	// waits, when set, receives contended-latch intervals as
+	// WaitPagerLatch events. Written once at wiring time (SetWaitStats),
+	// read outside p.mu on the contended path; nil is safe.
+	waits *obs.WaitStats
 }
 
 // NewPager creates a buffer pool with the given frame capacity (minimum 8)
@@ -328,12 +332,17 @@ func (p *Pager) lock() {
 	if p.mu.TryLock() {
 		return
 	}
-	start := time.Now()
+	aw := p.waits.StartWait(obs.WaitPagerLatch)
 	p.mu.Lock()
+	n := aw.Done() // records WaitPagerLatch when wired; always measures
 	p.stats.lockWaits.Inc()
-	p.stats.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+	p.stats.lockWaitNanos.Add(n)
 	//vetx:ignore lockbalance -- acquisition helper: every caller defers p.mu.Unlock()
 }
+
+// SetWaitStats routes contended-latch waits into the engine wait table.
+// Call once at wiring time, before concurrent use.
+func (p *Pager) SetWaitStats(w *obs.WaitStats) { p.waits = w }
 
 // Stats returns a snapshot of the pager's I/O counters. The snapshot is
 // taken under the pager mutex — the same lock every increment runs under

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -220,6 +221,13 @@ type WAL struct {
 	// per fsync epoch).
 	grouped    obs.Counter
 	groupSizes obs.Histogram
+
+	// waits/flight, when set, receive SyncShared blocked time
+	// (WaitWALGroupFsync) and one EvGroupFsync flight event per covering
+	// fsync epoch. Written once at wiring time (SetObs), before
+	// concurrent use; nil is safe.
+	waits  *obs.WaitStats
+	flight *obs.FlightRecorder
 }
 
 // NewWAL returns a WAL writer over sink, continuing after the given
@@ -229,6 +237,14 @@ func NewWAL(sink WALSink, lastSeq uint64, size int64) *WAL {
 	w := &WAL{sink: sink, seq: lastSeq, size: size, synced: size, syncedSeq: lastSeq}
 	w.syncDone = sync.NewCond(&w.gmu)
 	return w
+}
+
+// SetObs routes group-commit blocked time into the engine wait table
+// and fsync epochs into the flight recorder. Call once at wiring time,
+// before concurrent use.
+func (w *WAL) SetObs(waits *obs.WaitStats, flight *obs.FlightRecorder) {
+	w.waits = waits
+	w.flight = flight
 }
 
 func (w *WAL) append(kind byte, payload []byte) error {
@@ -334,6 +350,11 @@ func (w *WAL) Sync() error {
 // none of their records are known durable; the engine then marks the
 // WAL broken and truncates the suspect tail.
 func (w *WAL) SyncShared(target int64) error {
+	// The whole call is one WaitWALGroupFsync interval: a leader's time
+	// is its fsync, a follower's is the wait for a covering epoch —
+	// either way the committer was blocked on log durability.
+	aw := w.waits.StartWait(obs.WaitWALGroupFsync)
+	defer aw.Done()
 	w.gmu.Lock()
 	defer w.gmu.Unlock()
 	for {
@@ -353,7 +374,9 @@ func (w *WAL) SyncShared(target int64) error {
 	batch := w.unsyncedCommits
 	w.unsyncedCommits = 0
 	w.gmu.Unlock()
+	fsyncStart := time.Now()
 	err := w.sink.Sync() // the one shared fsync; no locks held
+	fsyncNanos := time.Since(fsyncStart).Nanoseconds()
 	w.gmu.Lock()
 	w.syncing = false
 	if err != nil {
@@ -366,6 +389,7 @@ func (w *WAL) SyncShared(target int64) error {
 	if batch > 0 {
 		w.grouped.Add(batch)
 		w.groupSizes.Observe(batch)
+		w.flight.Record(obs.EvGroupFsync, batch, fsyncNanos, "")
 	}
 	w.syncDone.Broadcast()
 	return nil

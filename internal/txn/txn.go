@@ -295,12 +295,21 @@ func (t *Txn) Rollback() error {
 type LockManager struct {
 	mu    sync.Mutex
 	locks map[string]*sync.RWMutex
+
+	// waits, when set, receives contended acquisitions as WaitTableLock
+	// events. Written once at wiring time (SetWaitStats), before
+	// concurrent use; nil is safe.
+	waits *obs.WaitStats
 }
 
 // NewLockManager returns an empty lock manager.
 func NewLockManager() *LockManager {
 	return &LockManager{locks: make(map[string]*sync.RWMutex)}
 }
+
+// SetWaitStats routes contended table-lock acquisitions into the engine
+// wait table. Call once at wiring time, before concurrent use.
+func (lm *LockManager) SetWaitStats(w *obs.WaitStats) { lm.waits = w }
 
 func (lm *LockManager) get(name string) *sync.RWMutex {
 	lm.mu.Lock()
@@ -333,10 +342,20 @@ func (lm *LockManager) Acquire(names []string, exclusive map[string]bool) (relea
 	for _, n := range uniq {
 		l := lm.get(n)
 		if exclusive[n] {
-			l.Lock()
+			// TryLock keeps the uncontended path free of timing calls; only
+			// a lost race starts a timed WaitTableLock interval.
+			if !l.TryLock() {
+				aw := lm.waits.StartWait(obs.WaitTableLock)
+				l.Lock()
+				aw.Done()
+			}
 			hs = append(hs, held{l, true})
 		} else {
-			l.RLock()
+			if !l.TryRLock() {
+				aw := lm.waits.StartWait(obs.WaitTableLock)
+				l.RLock()
+				aw.Done()
+			}
 			hs = append(hs, held{l, false})
 		}
 	}

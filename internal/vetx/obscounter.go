@@ -20,10 +20,19 @@ import (
 // convention they only appear in inert per-item slices of snapshots
 // (e.g. CallbackStats inside ODCISnapshot), which are single-goroutine
 // copies, not live aggregates.
+//
+// Outside internal/obs the analyzer enforces the wait-event discipline
+// instead: a site that measures blocked time with a raw time.Since and
+// feeds it into a wait-named obs.Counter bypasses the wait-event table
+// — the interval never reaches the per-class {count,total,max} rows or
+// the duration histogram, so `\waits` and the smoke check go blind to
+// it. Such sites must time the interval through
+// obs.WaitStats.StartWait/Done (whose Done returns the nanos for any
+// legacy gauge that still wants them).
 func Obscounter() *Analyzer {
 	return &Analyzer{
 		Name:      "obscounter",
-		Doc:       "obs live aggregates (*Stats) must count through Counter/Histogram, not bare numeric fields",
+		Doc:       "obs live aggregates (*Stats) must count through Counter/Histogram, not bare numeric fields; wait gauges must record through WaitStats.StartWait",
 		NeedTypes: true,
 		Run:       runObscounter,
 	}
@@ -37,7 +46,7 @@ func obscounterScope(path string) bool {
 
 func runObscounter(pkg *Package) []Finding {
 	if !obscounterScope(pkg.ImportPath) {
-		return nil
+		return obscounterWaitBypass(pkg)
 	}
 	var out []Finding
 	for _, file := range pkg.Files {
@@ -59,6 +68,91 @@ func runObscounter(pkg *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// obscounterWaitBypass flags calls of the shape
+//
+//	<x>.<somethingWait*>.Add( … time.Since(…) … )
+//
+// outside internal/obs, where the field is an obs.Counter whose name
+// contains "wait": the blocked interval is being measured by hand and
+// poured into a gauge, bypassing the wait-event table. The fix is to
+// time the interval with obs.WaitStats.StartWait/Done and feed the
+// returned nanos to any legacy gauge.
+func obscounterWaitBypass(pkg *Package) []Finding {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || method.Sel.Name != "Add" || len(call.Args) != 1 {
+				return true
+			}
+			fieldSel, ok := method.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, found := pkg.Info.Selections[fieldSel]
+			if !found || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			fld := selInfo.Obj()
+			if !strings.Contains(strings.ToLower(fld.Name()), "wait") ||
+				!isObsCounter(fld.Type()) || !containsTimeSince(pkg, call.Args[0]) {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "obscounter",
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("wait gauge %s fed a raw time.Since interval, bypassing the wait-event table; time the wait with obs.WaitStats.StartWait/Done and feed Done's result to the gauge",
+					fld.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isObsCounter reports whether t is the Counter type of internal/obs.
+func isObsCounter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Counter" && obj.Pkg() != nil && obscounterScope(obj.Pkg().Path())
+}
+
+// containsTimeSince reports whether the expression's subtree calls
+// time.Since.
+func containsTimeSince(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Since" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // obscounterFields flags unexported bare numeric fields declared in a

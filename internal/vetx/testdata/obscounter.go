@@ -14,8 +14,29 @@ type Counter struct{ v atomic.Int64 }
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
+
+// WaitStats stands in for the real wait-event table; the obswait
+// fixture's compliant sites record through it.
+type WaitStats struct{ total Counter }
+
+// ActiveWait is the in-flight wait handle StartWait returns.
+type ActiveWait struct{ w *WaitStats }
+
+// StartWait begins timing a wait.
+func (w *WaitStats) StartWait(class int) ActiveWait { return ActiveWait{w: w} }
+
+// Done finishes the wait and returns its nanos.
+func (a ActiveWait) Done() int64 {
+	if a.w != nil {
+		a.w.total.Inc()
+	}
+	return 1
+}
 
 // ScanStats is a live aggregate that wrongly mixes bare numeric fields
 // in with its counters.

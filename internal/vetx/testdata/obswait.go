@@ -1,0 +1,49 @@
+// Fixture for the obscounter wait-bypass rule. The test typechecks this
+// file under an import path OUTSIDE internal/obs (an engine-layer
+// package): a site that measures blocked time with a raw time.Since and
+// pours it into a wait-named obs.Counter bypasses the wait-event table
+// and must instead time the interval through WaitStats.StartWait/Done.
+package enginefix
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// gate mirrors the engine's admission bookkeeping: wait-named legacy
+// gauges of type obs.Counter.
+type gate struct {
+	admitWaits     obs.Counter
+	admitWaitNanos obs.Counter
+	fetches        obs.Counter
+}
+
+// badAcquire hand-times the blocked interval and feeds it straight to
+// the gauge — the wait never reaches the per-class table.
+func (g *gate) badAcquire() {
+	start := time.Now()
+	g.admitWaits.Inc()
+	g.admitWaitNanos.Add(time.Since(start).Nanoseconds()) // want:obscounter
+}
+
+// goodAcquire times the wait through the table; Done returns the nanos
+// so the legacy gauge still gets fed, from the same measurement.
+func (g *gate) goodAcquire(w *obs.WaitStats) {
+	aw := w.StartWait(0)
+	n := aw.Done()
+	g.admitWaits.Inc()
+	g.admitWaitNanos.Add(n)
+}
+
+// notAWaitField feeds time.Since into a counter that is not a wait
+// gauge — out of the rule's scope (it is not blocked time).
+func (g *gate) notAWaitField(start time.Time) {
+	g.fetches.Add(time.Since(start).Nanoseconds())
+}
+
+// suppressed shows the sanctioned escape hatch.
+func (g *gate) suppressed(start time.Time) {
+	//vetx:ignore obscounter -- fixture: grandfathered hand-timed gauge
+	g.admitWaitNanos.Add(time.Since(start).Nanoseconds())
+}

@@ -142,6 +142,50 @@ func TestObscounterSkipsOtherPackages(t *testing.T) {
 	}
 }
 
+// fallbackImporter tries the map first (fixture packages), then the
+// source importer (stdlib).
+type fallbackImporter struct {
+	m    mapImporter
+	next types.Importer
+}
+
+func (f fallbackImporter) Import(path string) (*types.Package, error) {
+	if p, err := f.m.Import(path); err == nil {
+		return p, nil
+	}
+	return f.next.Import(path)
+}
+
+// obswaitFixture typechecks the wait-bypass fixture (an engine-layer
+// package) against the fixture obs package.
+func obswaitFixture(t *testing.T, importPath string) *Package {
+	t.Helper()
+	obsPkg := parseFixture(t, "repro/internal/obs", "obscounter.go")
+	typecheckFixture(t, obsPkg, importer.ForCompiler(obsPkg.Fset, "source", nil))
+	pkg := parseFixture(t, importPath, "obswait.go")
+	typecheckFixture(t, pkg, fallbackImporter{
+		m:    mapImporter{"repro/internal/obs": obsPkg.Types},
+		next: importer.ForCompiler(pkg.Fset, "source", nil),
+	})
+	return pkg
+}
+
+func TestObscounterWaitBypass(t *testing.T) {
+	checkFindings(t, obswaitFixture(t, "repro/internal/enginefix"), Obscounter())
+}
+
+// TestObscounterWaitBypassSkipsObs: the rule polices consumers of the
+// wait table, not the obs package itself (whose own internals
+// legitimately handle raw durations).
+func TestObscounterWaitBypassSkipsObs(t *testing.T) {
+	pkg := obswaitFixture(t, "repro/internal/obs/enginefix")
+	for _, f := range Obscounter().Run(pkg) {
+		if strings.Contains(f.Message, "wait gauge") {
+			t.Errorf("wait-bypass rule fired inside internal/obs: %v", f)
+		}
+	}
+}
+
 func TestCallbackContract(t *testing.T) {
 	pkg := parseFixture(t, "repro/internal/cartridge/cartfix", "callbackcontract.go")
 	checkFindings(t, pkg, CallbackContract())
