@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS = repro/internal/txn repro/internal/storage repro/internal/engine repro/internal/extidx repro/internal/exec repro/internal/obs
 
-.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel bench-writers
+.PHONY: build vet lint test race crash fuzz obs-smoke check bench bench-batch bench-parallel bench-writers bench-storage
 
 build:
 	$(GO) build ./...
@@ -34,12 +34,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 20s ./internal/sql
 
 ## obs-smoke: run a reduced experiment sweep and fail if any required
-## engine counter (pager, txn, planner, ODCI fetch, parallel exec) or
-## wait-event class (AdmissionShared, WALGroupFsync, WALAppend,
-## MutationWindow, ExchangeWorkerIdle, ODCICallback) stayed at zero —
-## catches silently disconnected instrumentation
+## engine counter (pager, txn, planner, ODCI fetch, parallel exec,
+## per-shard pager stats, background checkpoints) or wait-event class
+## (AdmissionShared, WALGroupFsync, WALAppend, MutationWindow,
+## ExchangeWorkerIdle, ODCICallback, PagerLatch,
+## CheckpointBackpressure) stayed at zero — catches silently
+## disconnected instrumentation
 obs-smoke:
-	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1,W1 -json -smoke > /dev/null
+	$(GO) run ./cmd/benchrunner -quick -only E2,E6,E8,P1,W1,S1 -json -smoke > /dev/null
 
 ## check: everything CI runs
 check: build vet lint test race crash obs-smoke
@@ -63,3 +65,12 @@ bench-parallel:
 ## shared-sync path
 bench-writers:
 	$(GO) run ./cmd/benchrunner -only W1 -json
+
+## bench-storage: sharded-buffer-pool sweep (pager-latch wait time at
+## 1/4/16 shards under degree-8 parallel scans racing 16 writers, plus
+## a deterministic checkpoint-backpressure phase), one JSON metrics
+## snapshot per shard count; the experiment aborts on scan/writer
+## parity loss and asserts 16 shards cut latch time to <= 50% of the
+## single-latch baseline
+bench-storage:
+	$(GO) run ./cmd/benchrunner -only S1 -json

@@ -72,6 +72,7 @@ func main() {
 		{"B1", bench.BatchSweep},
 		{"P1", bench.ParallelSweep},
 		{"W1", bench.WriterSweep},
+		{"S1", bench.StorageSweep},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	var total engine.Metrics
@@ -114,7 +115,7 @@ func main() {
 		fmt.Printf("all experiments done in %v\n", time.Since(totalStart).Round(time.Millisecond))
 	}
 	if *smoke {
-		if err := smokeCheck(total, ran["P1"], ran["W1"]); err != nil {
+		if err := smokeCheck(total, ran["P1"], ran["W1"], ran["S1"]); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner: smoke check FAILED:", err)
 			os.Exit(1)
 		}
@@ -125,7 +126,7 @@ func main() {
 // smokeCheck validates that the instrumented engine actually observed
 // the activity the experiments must have generated. A zero here means a
 // counter was disconnected, not that the workload was idle.
-func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
+func smokeCheck(m engine.Metrics, ranParallel, ranWriters, ranStorage bool) error {
 	if m.Pager.Fetches == 0 {
 		return fmt.Errorf("pager fetches = 0 (buffer-pool counters disconnected)")
 	}
@@ -178,6 +179,20 @@ func smokeCheck(m engine.Metrics, ranParallel, ranWriters bool) error {
 		}
 		if m.FlightEvents == 0 {
 			return fmt.Errorf("flight recorder events = 0 (flight recorder disconnected)")
+		}
+	}
+	if ranStorage {
+		if len(m.PagerShards) == 0 {
+			return fmt.Errorf("per-shard pager stats empty (shard counters disconnected)")
+		}
+		if m.Engine.BgCheckpoints == 0 {
+			return fmt.Errorf("background checkpoints = 0 (checkpointer counters disconnected)")
+		}
+		if err := requireWait(m, "PagerLatch", true); err != nil {
+			return err
+		}
+		if err := requireWait(m, "CheckpointBackpressure", false); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -27,7 +27,6 @@ import (
 	"testing"
 
 	extdb "repro"
-	"repro/internal/storage"
 	"repro/internal/storage/fault"
 )
 
@@ -195,9 +194,9 @@ func verifyConcurrentDurable(t *testing.T, media crashMedia, res *ccResult, labe
 // durable state. Concurrent schedules are nondeterministic, so a late
 // point may fall beyond the ops this particular run consumed — that run
 // simply completed, and its durable state must still verify.
-func runConcurrentCrashPoint(t *testing.T, point int, action fault.Action, label string) {
+func runConcurrentCrashPoint(t *testing.T, segBytes int64, point int, action fault.Action, label string) {
 	t.Helper()
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(segBytes)
 	inj := fault.NewInjector().Set(point, action)
 	res, _ := runConcurrentWorkload(t, media, inj)
 	verifyConcurrentDurable(t, media, res, label)
@@ -206,7 +205,7 @@ func runConcurrentCrashPoint(t *testing.T, point int, action fault.Action, label
 // TestCrashConcurrentBaseline is the control: no fault, every commit
 // acknowledged, everything durable.
 func TestCrashConcurrentBaseline(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector()
 	res, total := runConcurrentWorkload(t, media, inj)
 	if len(res.failed) != 0 {
@@ -226,10 +225,10 @@ func TestCrashConcurrentBaseline(t *testing.T) {
 // verifies recovery after each: committed transactions durable,
 // uncommitted absent, no cross-transaction frame leakage.
 func TestCrashConcurrentMatrixEveryPoint(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
 	for point := 1; point <= total; point++ {
-		runConcurrentCrashPoint(t, point, fault.Crash, fmt.Sprintf("concurrent-crash@%d", point))
+		runConcurrentCrashPoint(t, 0, point, fault.Crash, fmt.Sprintf("concurrent-crash@%d", point))
 	}
 }
 
@@ -240,10 +239,10 @@ func TestCrashConcurrentMatrixEveryPoint(t *testing.T) {
 // rest of its group is lost. Recovery must keep exactly the intact
 // prefix's transactions.
 func TestCrashConcurrentMatrixTornWrites(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
 	for point := 1; point <= total; point++ {
-		runConcurrentCrashPoint(t, point, fault.CrashTorn, fmt.Sprintf("concurrent-torn@%d", point))
+		runConcurrentCrashPoint(t, 0, point, fault.CrashTorn, fmt.Sprintf("concurrent-torn@%d", point))
 	}
 }
 
@@ -255,11 +254,11 @@ func TestCrashConcurrentMatrixTornWrites(t *testing.T) {
 // durable media must still verify: acknowledged commits survive, the
 // poisoned batch is atomically present-or-absent per transaction.
 func TestCrashConcurrentFailedSyncPoisonsGroup(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
 	for point := 1; point <= total; point++ {
 		label := fmt.Sprintf("concurrent-fail@%d", point)
-		media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+		media := newCrashMedia(0)
 		inj := fault.NewInjector().Set(point, fault.Fail)
 		res, _ := runConcurrentWorkload(t, media, inj)
 		verifyConcurrentDurable(t, media, res, label)

@@ -1,0 +1,111 @@
+package extdb_test
+
+// Segmented-WAL slice of the crash matrix: the same scripted and
+// concurrent workloads run over a segmented sink with a payload capacity
+// smaller than one page record, so every log append spans segment
+// boundaries, commits activate fresh segment headers mid-workload, and
+// the checkpoint step retires and recycles a whole chain. Power-failing
+// at every fault-eligible operation therefore lands crashes at segment
+// boundaries, during header activation, and at recycle time — the fault
+// points the flat single-file matrix cannot produce.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	extdb "repro"
+	"repro/internal/storage"
+	"repro/internal/storage/fault"
+)
+
+// crashSegBytes is far below one logged page image (~8.2 KiB), forcing
+// every page record to straddle several segments.
+const crashSegBytes = 1024
+
+// TestCrashSegmentedBaseline is the control: the workload over segmented
+// media with no fault must verify, and must actually have cycled
+// segments (a chain longer than one segment and a recycle pool).
+func TestCrashSegmentedBaseline(t *testing.T) {
+	media, m, bounds := runPassive(t, crashSegBytes)
+	if total := bounds[len(bounds)-1]; total < 30 {
+		t.Fatalf("suspiciously few fault-eligible ops: %d", total)
+	}
+	seg := media.sink.(*storage.SegmentedSink)
+	live, free := seg.Segments()
+	if live+free < 2 {
+		t.Fatalf("segmented workload never spanned a segment: live=%d free=%d", live, free)
+	}
+	if free == 0 {
+		t.Fatalf("workload checkpoints never recycled a segment: live=%d free=%d", live, free)
+	}
+	verifyDurable(t, media, m, "segmented-baseline")
+}
+
+// TestCrashSegmentedMatrixEveryPoint power-fails the scripted workload
+// over segmented media at every fault-eligible operation.
+func TestCrashSegmentedMatrixEveryPoint(t *testing.T) {
+	_, _, bounds := runPassive(t, crashSegBytes)
+	total := bounds[len(bounds)-1]
+	for point := 1; point <= total; point++ {
+		runCrashPoint(t, crashSegBytes, point, fault.Crash, fmt.Sprintf("seg-crash@%d", point))
+	}
+}
+
+// TestCrashSegmentedMatrixTornWrites repeats the sweep with torn power
+// loss: half the pending log bytes reach the segmented chain — tearing
+// inside a segment, or exactly at a boundary with the spill segment
+// lost. Recovery must keep the intact record prefix and nothing else.
+func TestCrashSegmentedMatrixTornWrites(t *testing.T) {
+	_, _, bounds := runPassive(t, crashSegBytes)
+	total := bounds[len(bounds)-1]
+	for point := 1; point <= total; point++ {
+		runCrashPoint(t, crashSegBytes, point, fault.CrashTorn, fmt.Sprintf("seg-torn@%d", point))
+	}
+}
+
+// TestCrashSegmentedRecyclePoints aims power loss at every operation of
+// the checkpoint step specifically — the flush, the page-file sync, and
+// the log reset that retires the old chain and durably activates the
+// next epoch's head segment. A crash between those sub-steps must leave
+// either the old chain or the fresh empty one, never a replayable
+// prefix of a superseded epoch.
+func TestCrashSegmentedRecyclePoints(t *testing.T) {
+	_, _, bounds := runPassive(t, crashSegBytes)
+	ckpt := -1
+	for i, st := range crashSteps() {
+		if st.name == "checkpoint" {
+			ckpt = i
+		}
+	}
+	if ckpt <= 0 {
+		t.Fatal("no checkpoint step in workload")
+	}
+	for point := bounds[ckpt-1] + 1; point <= bounds[ckpt]; point++ {
+		for _, action := range []fault.Action{fault.Crash, fault.CrashTorn} {
+			label := fmt.Sprintf("seg-recycle@%d/%v", point, action)
+			media := newCrashMedia(crashSegBytes)
+			inj := fault.NewInjector().Set(point, action)
+			m, _, failed, err := runWorkload(t, media, inj)
+			if failed >= 0 && !errors.Is(err, fault.ErrCrashed) && !errors.Is(err, extdb.ErrWALBroken) {
+				t.Fatalf("%s: step %d failed with unexpected error: %v", label, failed, err)
+			}
+			if failed > ckpt {
+				t.Fatalf("%s: crash landed in step %d, past the checkpoint step %d", label, failed, ckpt)
+			}
+			verifyDurable(t, media, m, label)
+		}
+	}
+}
+
+// TestCrashConcurrentSegmentedMatrix runs the concurrent-committer sweep
+// over segmented media: group batches span segments, and a torn shared
+// fsync can strand half a group across a segment boundary.
+func TestCrashConcurrentSegmentedMatrix(t *testing.T) {
+	media := newCrashMedia(crashSegBytes)
+	_, total := runConcurrentWorkload(t, media, fault.NewInjector())
+	for point := 1; point <= total; point++ {
+		runConcurrentCrashPoint(t, crashSegBytes, point, fault.Crash, fmt.Sprintf("seg-concurrent-crash@%d", point))
+		runConcurrentCrashPoint(t, crashSegBytes, point, fault.CrashTorn, fmt.Sprintf("seg-concurrent-torn@%d", point))
+	}
+}

@@ -174,7 +174,22 @@ func crashSteps() []crashStep {
 
 type crashMedia struct {
 	backend *storage.MemBackend
-	sink    *storage.MemWALSink
+	sink    storage.WALSink
+}
+
+// newCrashMedia builds durable media for one crash scenario. segBytes = 0
+// selects the flat append-only MemWALSink; segBytes > 0 selects the
+// segmented sink with that per-segment payload capacity, so the same
+// matrix also power-fails at segment boundaries, header activations, and
+// checkpoint-time segment recycling.
+func newCrashMedia(segBytes int64) crashMedia {
+	m := crashMedia{backend: storage.NewMemBackend()}
+	if segBytes > 0 {
+		m.sink = storage.NewMemSegmentedSink(segBytes)
+	} else {
+		m.sink = storage.NewMemWALSink()
+	}
+	return m
 }
 
 // runWorkload opens a database over fault-wrapped media, runs the
@@ -362,9 +377,9 @@ func verifyDurable(t *testing.T, media crashMedia, m *crashModel, label string) 
 // step and the final Close must succeed. It returns the op boundaries
 // (bounds[i] = ops consumed through step i; the last entry includes
 // Close) and the durable media.
-func runPassive(t *testing.T) (crashMedia, *crashModel, []int) {
+func runPassive(t *testing.T, segBytes int64) (crashMedia, *crashModel, []int) {
 	t.Helper()
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(segBytes)
 	inj := fault.NewInjector()
 	m, bounds, failed, err := runWorkload(t, media, inj)
 	if err != nil {
@@ -373,9 +388,9 @@ func runPassive(t *testing.T) (crashMedia, *crashModel, []int) {
 	return media, m, bounds
 }
 
-func runCrashPoint(t *testing.T, point int, action fault.Action, label string) {
+func runCrashPoint(t *testing.T, segBytes int64, point int, action fault.Action, label string) {
 	t.Helper()
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(segBytes)
 	inj := fault.NewInjector().Set(point, action)
 	m, _, failed, err := runWorkload(t, media, inj)
 	if failed >= 0 && !errors.Is(err, fault.ErrCrashed) && !errors.Is(err, extdb.ErrWALBroken) {
@@ -394,7 +409,7 @@ func runCrashPoint(t *testing.T, point int, action fault.Action, label string) {
 // TestCrashBaselineDurability is the matrix's control: with no fault
 // injected, the durable media reopen to exactly the full model.
 func TestCrashBaselineDurability(t *testing.T) {
-	media, m, bounds := runPassive(t)
+	media, m, bounds := runPassive(t, 0)
 	if len(bounds) != len(crashSteps())+1 {
 		t.Fatalf("bounds = %d entries, want %d", len(bounds), len(crashSteps())+1)
 	}
@@ -410,10 +425,10 @@ func TestCrashBaselineDurability(t *testing.T) {
 // log syncs, log truncations — commit and checkpoint paths included) and
 // verifies recovery after each.
 func TestCrashMatrixEveryPoint(t *testing.T) {
-	_, _, bounds := runPassive(t)
+	_, _, bounds := runPassive(t, 0)
 	total := bounds[len(bounds)-1]
 	for point := 1; point <= total; point++ {
-		runCrashPoint(t, point, fault.Crash, fmt.Sprintf("crash@%d", point))
+		runCrashPoint(t, 0, point, fault.Crash, fmt.Sprintf("crash@%d", point))
 	}
 }
 
@@ -422,10 +437,10 @@ func TestCrashMatrixEveryPoint(t *testing.T) {
 // page or log record it stopped in. Recovery must detect the tear by
 // checksum and repair it from the log.
 func TestCrashMatrixTornWrites(t *testing.T) {
-	_, _, bounds := runPassive(t)
+	_, _, bounds := runPassive(t, 0)
 	total := bounds[len(bounds)-1]
 	for point := 1; point <= total; point++ {
-		runCrashPoint(t, point, fault.CrashTorn, fmt.Sprintf("torn@%d", point))
+		runCrashPoint(t, 0, point, fault.CrashTorn, fmt.Sprintf("torn@%d", point))
 	}
 }
 
@@ -434,7 +449,7 @@ func TestCrashMatrixTornWrites(t *testing.T) {
 // tears one in the middle. Replay must notice the damage (checksum
 // mismatch against the logged image) and repair the page file.
 func TestCrashTornCheckpointRepairsPageFile(t *testing.T) {
-	_, _, bounds := runPassive(t)
+	_, _, bounds := runPassive(t, 0)
 	ckpt := -1
 	for i, st := range crashSteps() {
 		if st.name == "checkpoint" {
@@ -449,7 +464,7 @@ func TestCrashTornCheckpointRepairsPageFile(t *testing.T) {
 	// is the second-to-last op of the step.
 	point := bounds[ckpt] - 1
 
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector().Set(point, fault.CrashTorn)
 	m, _, failed, err := runWorkload(t, media, inj)
 	if failed != ckpt {
@@ -473,7 +488,7 @@ func TestCrashTornCheckpointRepairsPageFile(t *testing.T) {
 // suspect), and reopening must recover every acknowledged commit and
 // nothing else.
 func TestCrashFailedSyncPoisonsWAL(t *testing.T) {
-	_, _, bounds := runPassive(t)
+	_, _, bounds := runPassive(t, 0)
 	victim := -1
 	for i, st := range crashSteps() {
 		if st.name == "insert doc 3" {
@@ -486,7 +501,7 @@ func TestCrashFailedSyncPoisonsWAL(t *testing.T) {
 	// The last op of an autocommit DML step is its commit's log sync.
 	point := bounds[victim]
 
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector().Set(point, fault.Fail)
 	db, err := extdb.Open(extdb.Options{
 		Backend:        fault.NewBackend(inj, media.backend),
@@ -526,11 +541,11 @@ func TestCrashFailedSyncPoisonsWAL(t *testing.T) {
 // again before the post-recovery checkpoint ever runs by replaying the
 // same durable media twice; both recoveries must agree.
 func TestCrashRecoveryIsIdempotent(t *testing.T) {
-	_, _, bounds := runPassive(t)
+	_, _, bounds := runPassive(t, 0)
 	// A point late in the workload, inside the post-checkpoint region.
 	point := bounds[len(bounds)-2] - 1
 
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector().Set(point, fault.Crash)
 	m, _, failed, err := runWorkload(t, media, inj)
 	if failed < 0 {
@@ -561,7 +576,7 @@ func TestCrashRecoveryIsIdempotent(t *testing.T) {
 //     on reopen while everything acknowledged before the crash survives,
 //     with heap/index agreement.
 func TestCrashMultiSessionIsolation(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector()
 	db, err := extdb.Open(extdb.Options{
 		Backend: fault.NewBackend(inj, media.backend),
@@ -793,7 +808,7 @@ func TestCrashCheckpointRefusedWithOpenTxn(t *testing.T) {
 // database closed cleanly mid-workload reopens with an empty log (Close
 // checkpointed) and full data.
 func TestCrashWALSurvivesMidWorkloadReopen(t *testing.T) {
-	media := crashMedia{backend: storage.NewMemBackend(), sink: storage.NewMemWALSink()}
+	media := newCrashMedia(0)
 	inj := fault.NewInjector()
 	db, err := extdb.Open(extdb.Options{
 		Backend: fault.NewBackend(inj, media.backend),

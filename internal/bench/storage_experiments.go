@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// StorageSweep (S1) measures the sharded buffer pool: the same storm —
+// degree-8 parallel scans over a shared read table racing 16 writers
+// committing into their own tables — runs at 1, 4 and 16 pager shards,
+// and the per-class wait table reports how long anyone blocked on a
+// pager latch. With one shard every fetch, unpin and eviction convoys
+// on a single RWMutex; sharding by page-id hash splits that traffic, so
+// PagerLatch blocked time at 16 shards must drop to at most half the
+// 1-shard baseline. Each configuration runs the storm several times and
+// the minimum blocked time is the measurement (standard noise rejection
+// for a contention benchmark); the ratio is asserted only when the
+// machine can actually run goroutines in parallel (NumCPU >= 4) and the
+// baseline is above a noise floor — on one or two cores the "blocked"
+// time is pure scheduler accounting and the ratio is reported but
+// meaningless. Every parallel scan must return the byte-identical
+// result image of the pre-storm serial scan — a parity failure aborts
+// the sweep.
+//
+// Each configuration ends with a deterministic backpressure phase: one
+// transaction dirties more frames than the no-steal pool may hold, so
+// an all-dirty shard grows past its target, records a
+// CheckpointBackpressure wait, and pokes the background checkpointer —
+// which must be refused while the transaction is open (a skip) and run
+// after its commit. That keeps the new checkpointer counters and wait
+// classes live under `-smoke`.
+func StorageSweep(cfg Config) Table {
+	const (
+		scanDegree = 8
+		nWriters   = 16
+		cachePages = 256
+	)
+	nRows := cfg.pick(4000, 20000)
+	rowsPerWriter := cfg.pick(40, 150)
+	scansPerReader := cfg.pick(2, 6)
+	trials := cfg.pick(3, 5)
+
+	t := Table{
+		ID:         "S1",
+		Title:      "sharded buffer pool: pager-latch wait time vs shard count under a scan/write storm",
+		PaperClaim: "the framework's kernel scales with the hardware: sharding the buffer pool by page-id hash removes the single pager latch the paper's parallel scans and concurrent committers would otherwise convoy on",
+		Headers: []string{"shards", "scan rows", "wall", "latch waits", "latch time",
+			"vs 1 shard", "hit skew", "bp waits", "bg ckpts", "ckpt skips"},
+	}
+
+	var baseLatch int64 = -1
+	for _, shards := range []int{1, 4, 16} {
+		db := must1(engine.Open(engine.Options{
+			Backend:        storage.NewMemBackend(),
+			WALSink:        storage.NewMemSegmentedSink(storage.DefaultWALSegmentBytes),
+			CacheSizePages: cachePages,
+			PagerShards:    shards,
+		}))
+		s := db.NewSession()
+
+		// Shared read table (larger than the cache, so scans also evict)
+		// and one private table per writer.
+		must1(s.Exec(`CREATE TABLE measures(id NUMBER, val NUMBER, pad VARCHAR2)`))
+		pad := strings.Repeat("x", 120)
+		must(s.Begin())
+		for i := 0; i < nRows; i++ {
+			must1(s.Exec(fmt.Sprintf(`INSERT INTO measures VALUES (%d, %d, '%s')`,
+				i, i*2654435761%100000, pad)))
+		}
+		must(s.Commit())
+		for w := 0; w < nWriters; w++ {
+			must1(s.Exec(fmt.Sprintf(`CREATE TABLE W%d(id NUMBER, val VARCHAR2)`, w)))
+		}
+
+		// Serial baseline image: the parity oracle for every parallel scan.
+		scanQ := `SELECT id, val FROM measures WHERE val < 50000`
+		s.SetParallel(1)
+		baseImg := sortedImage(must1(s.Query(scanQ)).Rows)
+		baseRows := len(must1(s.Query(scanQ)).Rows)
+
+		var (
+			latch    obs.WaitCounts
+			wall     time.Duration
+			minHit   = 1.0
+			maxHit   = 0.0
+			latchSet bool
+		)
+		for trial := 0; trial < trials; trial++ {
+			db.ResetMetrics()
+			var (
+				wg       sync.WaitGroup
+				errMu    sync.Mutex
+				firstErr error
+			)
+			fail := func(err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			trialWall := timed(func() {
+				for r := 0; r < scanDegree; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						sess := db.NewSession()
+						sess.SetParallel(scanDegree)
+						for i := 0; i < scansPerReader; i++ {
+							rs, err := sess.Query(scanQ)
+							if err != nil {
+								fail(fmt.Errorf("S1: shards=%d reader %d scan %d: %w", shards, r, i, err))
+								return
+							}
+							if img := sortedImage(rs.Rows); img != baseImg {
+								panic(fmt.Sprintf("S1: shards=%d reader %d scan %d returned %d rows whose image differs from the serial baseline (%d rows)",
+									shards, r, i, len(rs.Rows), baseRows))
+							}
+						}
+					}(r)
+				}
+				base := trial * rowsPerWriter
+				for w := 0; w < nWriters; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						sess := db.NewSession()
+						for i := base; i < base+rowsPerWriter; i++ {
+							if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO W%d VALUES (%d, 'w%d-%d')`, w, i, w, i)); err != nil {
+								fail(fmt.Errorf("S1: shards=%d writer %d insert %d: %w", shards, w, i, err))
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+			must(firstErr)
+
+			// Writer parity: every acknowledged row present exactly once.
+			wantRows := (trial + 1) * rowsPerWriter
+			for w := 0; w < nWriters; w++ {
+				rows := must1(s.Query(fmt.Sprintf(`SELECT id FROM W%d`, w))).Rows
+				if len(rows) != wantRows {
+					panic(fmt.Sprintf("S1: shards=%d table W%d holds %d rows, want %d acknowledged",
+						shards, w, len(rows), wantRows))
+				}
+			}
+
+			storm := db.Metrics()
+			tl := storm.Waits.Classes["PagerLatch"]
+			if !latchSet || tl.TotalNanos < latch.TotalNanos {
+				latch, wall, latchSet = tl, trialWall, true
+			}
+			if len(storm.PagerShards) != shards {
+				panic(fmt.Sprintf("S1: metrics report %d shards, configured %d", len(storm.PagerShards), shards))
+			}
+			for _, sh := range storm.PagerShards {
+				if r := sh.HitRate(); r < minHit {
+					minHit = r
+				}
+				if r := sh.HitRate(); r > maxHit {
+					maxHit = r
+				}
+			}
+		}
+
+		// Deterministic backpressure phase: one transaction dirties more
+		// frames than the pool holds.
+		bigPad := strings.Repeat("b", 4000) // ~2 rows per page
+		must1(s.Exec(`CREATE TABLE BP(id NUMBER, pad VARCHAR2)`))
+		must(s.Begin())
+		for i := 0; i < cachePages*2+cachePages/2; i++ {
+			must1(s.Exec(fmt.Sprintf(`INSERT INTO BP VALUES (%d, '%s')`, i, bigPad)))
+		}
+		bp := db.Metrics().Waits.Classes["CheckpointBackpressure"]
+		if bp.Count == 0 {
+			panic(fmt.Sprintf("S1: shards=%d over-capacity transaction recorded no CheckpointBackpressure waits", shards))
+		}
+		must(s.Commit())
+		deadline := time.Now().Add(10 * time.Second)
+		for db.Metrics().Engine.BgCheckpoints == 0 {
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("S1: shards=%d background checkpointer never ran after backpressure", shards))
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		final := db.Metrics()
+		mustClose(db)
+
+		vsBase := "baseline"
+		if shards == 1 {
+			baseLatch = latch.TotalNanos
+		} else if baseLatch > 0 {
+			vsBase = fmt.Sprintf("%.0f%%", 100*float64(latch.TotalNanos)/float64(baseLatch))
+		}
+		// The acceptance gate: 16 shards must cut pager-latch blocked time
+		// to at most half the single-latch baseline. Asserted only where
+		// the measurement means anything: enough cores that goroutines
+		// genuinely run in parallel, and a baseline above the noise floor.
+		// Elsewhere the ratio is reported and marked unasserted.
+		const noiseFloor = 200 * time.Microsecond
+		assertable := runtime.NumCPU() >= 4 && baseLatch > int64(noiseFloor)
+		if shards == 16 {
+			if assertable && latch.TotalNanos > baseLatch/2 {
+				panic(fmt.Sprintf("S1: PagerLatch time at 16 shards = %v, want <= 50%% of 1-shard baseline %v",
+					time.Duration(latch.TotalNanos), time.Duration(baseLatch)))
+			}
+			if !assertable {
+				vsBase += fmt.Sprintf(" (unasserted: %d cpus)", runtime.NumCPU())
+			}
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(shards),
+			fmt.Sprint(baseRows),
+			ms(wall),
+			fmt.Sprint(latch.Count),
+			time.Duration(latch.TotalNanos).Round(time.Microsecond).String(),
+			vsBase,
+			fmt.Sprintf("%.1f%%..%.1f%%", minHit*100, maxHit*100),
+			fmt.Sprint(bp.Count),
+			fmt.Sprint(final.Engine.BgCheckpoints),
+			fmt.Sprint(final.Engine.BgCheckpointSkips),
+		})
+	}
+	return t
+}

@@ -51,6 +51,25 @@ type Options struct {
 	// FlightRecorderSize overrides the flight-recorder ring capacity
 	// (rounded up to a power of two; default obs.DefaultFlightSize).
 	FlightRecorderSize int
+	// PagerShards is the buffer-pool shard count (pages are distributed
+	// by page-id hash; each shard has its own latch and clock hand).
+	// <= 0 means storage.DefaultPagerShards.
+	PagerShards int
+	// WALSegmentBytes is the payload capacity of one WAL segment when the
+	// engine opens the default file-backed segmented log (<= 0 means
+	// storage.DefaultWALSegmentBytes). Ignored when WALSink is injected.
+	WALSegmentBytes int64
+	// CheckpointWALBytes is the WAL-growth threshold that triggers the
+	// background checkpointer (<= 0 means DefaultCheckpointWALBytes).
+	CheckpointWALBytes int64
+	// CheckpointDirtyPages is the dirty-frame watermark that triggers the
+	// background checkpointer (<= 0 derives it from the cache size:
+	// max(3/4 of the cache, 1024)).
+	CheckpointDirtyPages int64
+	// DisableBackgroundCheckpointer keeps checkpointing purely
+	// foreground (Open recovery, explicit Checkpoint calls, Close) —
+	// crash harnesses use this to keep WAL op counts deterministic.
+	DisableBackgroundCheckpointer bool
 }
 
 // DB is one database instance.
@@ -84,6 +103,11 @@ type DB struct {
 	walBroken bool
 	recovery  storage.RecoveryInfo
 
+	// ckpt is the background checkpointer (nil when no WAL governs the
+	// database or the checkpointer is disabled). Set once in Open before
+	// any session exists; Close drains it before checkpointing.
+	ckpt *checkpointer
+
 	// Write concurrency (WAL-governed databases). Three layers replace
 	// the old single-writer gate:
 	//
@@ -114,22 +138,30 @@ type DB struct {
 	//     wins).
 	//
 	// The intended global acquisition order — admission first, then
-	// table locks, the mutation window, the WAL append mutex, the WAL
-	// group state, the pager, backends last — is declared below; the
-	// lockorder analyzer checks every observed acquisition path against
-	// it and reports any cycle in the whole-program lock graph. (Table
-	// locks are LockManager locals, deadlock-free by sorted acquisition,
-	// and out of the analyzer's scope.)
+	// table locks, the mutation window, the WAL append mutex, the pager
+	// shard latches, the WAL group state, the log segments, backends
+	// last — is declared below; the lockorder analyzer checks every
+	// observed acquisition path against it and reports any cycle in the
+	// whole-program lock graph. (Table locks are LockManager locals,
+	// deadlock-free by sorted acquisition, and out of the analyzer's
+	// scope; so are same-identity shard latches, which the pager only
+	// nests in ascending shard order for consistent-cut snapshots.)
 	//
 	//vetx:lockorder engine.DB.admission < engine.DB.admitMu
 	//vetx:lockorder engine.DB.admission < engine.DB.mutMu
 	//vetx:lockorder engine.DB.mutMu < engine.DB.mutStateMu
 	//vetx:lockorder engine.DB.mutMu < engine.DB.walMu
 	//vetx:lockorder engine.DB.walMu < storage.WAL.gmu
-	//vetx:lockorder engine.DB.walMu < storage.Pager.mu
-	//vetx:lockorder storage.Pager.mu < storage.WAL.gmu
-	//vetx:lockorder storage.Pager.mu < storage.FileBackend.mu
-	//vetx:lockorder storage.Pager.mu < storage.MemBackend.mu
+	//vetx:lockorder engine.DB.walMu < storage.pagerShard.mu
+	//vetx:lockorder storage.pagerShard.mu < storage.WAL.gmu
+	//vetx:lockorder storage.pagerShard.mu < storage.Pager.conflictMu
+	//vetx:lockorder storage.pagerShard.mu < storage.FileBackend.mu
+	//vetx:lockorder storage.pagerShard.mu < storage.MemBackend.mu
+	//vetx:lockorder storage.Pager.allocMu < storage.FileBackend.mu
+	//vetx:lockorder storage.Pager.allocMu < storage.MemBackend.mu
+	//vetx:lockorder storage.WAL.gmu < storage.SegmentedSink.mu
+	//vetx:lockorder storage.SegmentedSink.mu < storage.memSegMedium.mu
+	//vetx:lockorder storage.SegmentedSink.mu < storage.memSegSlot.mu
 	admission sync.RWMutex
 	admitMu   sync.Mutex         // guards admitted
 	admitted  map[*txn.Txn]bool  // open write txns → exclusive?
@@ -378,7 +410,10 @@ func Open(opts Options) (*DB, error) {
 	}
 	sink := opts.WALSink
 	if sink == nil && !opts.DisableWAL && opts.Path != "" && opts.Backend == nil {
-		fs, err := storage.OpenFileWALSink(opts.Path + ".wal")
+		// The default file log is a directory of fixed-size recycled
+		// segments; a checkpoint retires segments back into the pool
+		// instead of growing one append-only file.
+		fs, err := storage.OpenFileSegmentedSink(opts.Path+".wal", opts.WALSegmentBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -399,7 +434,7 @@ func Open(opts Options) (*DB, error) {
 	if cache <= 0 {
 		cache = 4096
 	}
-	pager := storage.NewPager(backend, cache)
+	pager := storage.NewPagerShards(backend, cache, opts.PagerShards)
 	db := &DB{
 		pager:             pager,
 		txns:              txn.NewManager(),
@@ -477,6 +512,9 @@ func Open(opts Options) (*DB, error) {
 				return nil, fmt.Errorf("engine: post-recovery checkpoint: %w", err)
 			}
 		}
+		// The background checkpointer starts last: everything it touches
+		// is wired, and recovery's foreground checkpoint has already run.
+		db.startCheckpointer(opts, cache)
 	}
 	return db, nil
 }
@@ -489,6 +527,10 @@ func Open(opts Options) (*DB, error) {
 // flushing could push uncommitted or unlogged pages to the page file —
 // and the next Open recovers committed state from the log.
 func (db *DB) Close() error {
+	// Drain the background checkpointer first: a checkpoint of its own in
+	// flight holds admission, which would make the foreground checkpoint
+	// below report ErrTxnOpen and wrongly discard the buffer pool.
+	db.stopCheckpointer()
 	err := db.Checkpoint()
 	if err != nil && db.wal != nil {
 		err = errors.Join(err, db.pager.CloseDiscard())
@@ -529,6 +571,12 @@ func (db *DB) logCommit(txID int64, forceDurable bool) error {
 		err = db.failWAL(err)
 		db.walMu.Unlock()
 		return err
+	}
+	// The acknowledged commit may have pushed the log or the dirty-frame
+	// count over a checkpoint threshold; let the background checkpointer
+	// re-evaluate (coalesced, non-blocking).
+	if db.ckpt != nil {
+		db.ckpt.poke(false)
 	}
 	return nil
 }

@@ -33,6 +33,11 @@ type EngineStats struct {
 	// FetchCalls counts ODCIIndexFetch interface crossings observed by
 	// domain scans (same counter as DB.FetchCalls).
 	FetchCalls int64
+	// BgCheckpoints counts checkpoints completed by the background
+	// checkpointer; BgCheckpointSkips counts its attempts that were
+	// refused (a writer was admitted) or failed.
+	BgCheckpoints    int64
+	BgCheckpointSkips int64
 }
 
 // WorkspaceStats is the scan-context workspace slice of a Metrics
@@ -45,8 +50,12 @@ type WorkspaceStats struct {
 // Metrics is a full engine observability snapshot: every layer's
 // counters in one inert struct. Collect it with DB.Metrics.
 type Metrics struct {
-	Pager     storage.Stats
-	Txn       txn.Stats
+	Pager storage.Stats
+	// PagerShards is the per-shard buffer-pool breakdown (fetch/hit
+	// counters per shard latch): skew across entries exposes a hot
+	// shard that the aggregate hit rate would hide.
+	PagerShards []storage.ShardStats
+	Txn         txn.Stats
 	Planner   obs.PlannerSnapshot
 	ODCI      obs.ODCISnapshot
 	Engine    EngineStats
@@ -74,9 +83,15 @@ func (db *DB) Metrics() Metrics {
 	admShared := waits.Classes[obs.WaitAdmissionShared.String()]
 	admExcl := waits.Classes[obs.WaitAdmissionExclusive.String()]
 	window := waits.Classes[obs.WaitMutationWindow.String()]
+	var bgDone, bgSkip int64
+	if db.ckpt != nil {
+		bgDone = db.ckpt.checkpoints.Load()
+		bgSkip = db.ckpt.skips.Load()
+	}
 	return Metrics{
-		Pager:   db.PagerStats(),
-		Txn:     db.txns.Stats(),
+		Pager:       db.PagerStats(),
+		PagerShards: db.pager.ShardStats(),
+		Txn:         db.txns.Stats(),
 		Planner: db.planner.Snapshot(),
 		ODCI:    db.odci.Snapshot(),
 		Engine: EngineStats{
@@ -87,9 +102,11 @@ func (db *DB) Metrics() Metrics {
 			// table: the class counts are the acquisition counts.
 			AdmitWaits:     admShared.Count + admExcl.Count,
 			AdmitWaitNanos: admShared.TotalNanos + admExcl.TotalNanos,
-			MutWaits:       window.Count,
-			MutWaitNanos:   window.TotalNanos,
-			FetchCalls:     db.FetchCalls(),
+			MutWaits:          window.Count,
+			MutWaitNanos:      window.TotalNanos,
+			FetchCalls:        db.FetchCalls(),
+			BgCheckpoints:     bgDone,
+			BgCheckpointSkips: bgSkip,
 		},
 		Exec:         db.execStats.Snapshot(),
 		Workspace:    WorkspaceStats{Live: live, HighWater: high},
@@ -98,6 +115,28 @@ func (db *DB) Metrics() Metrics {
 		Conflicts:    db.conflicts.Snapshot(),
 		FlightEvents: int64(db.flight.Len()),
 	}
+}
+
+// minShardHitRate / maxShardHitRate bound the per-shard hit rates (the
+// skew line in the \stats report).
+func minShardHitRate(shards []storage.ShardStats) float64 {
+	lo := 1.0
+	for _, s := range shards {
+		if r := s.HitRate(); r < lo {
+			lo = r
+		}
+	}
+	return lo
+}
+
+func maxShardHitRate(shards []storage.ShardStats) float64 {
+	hi := 0.0
+	for _, s := range shards {
+		if r := s.HitRate(); r > hi {
+			hi = r
+		}
+	}
+	return hi
 }
 
 // commitGroups snapshots the WAL's group-size histogram (zero when no WAL
@@ -124,6 +163,10 @@ func (db *DB) ResetMetrics() {
 	db.conflicts.Reset()
 	db.execStats.Reset()
 	db.ResetFetchCalls()
+	if db.ckpt != nil {
+		db.ckpt.checkpoints.Store(0)
+		db.ckpt.skips.Store(0)
+	}
 }
 
 // SetSlowQueryHook installs fn to receive the QueryTrace of every
@@ -157,6 +200,16 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Pager.WALGroupedCommits += o.Pager.WALGroupedCommits
 	m.Pager.LockWaits += o.Pager.LockWaits
 	m.Pager.LockWaitNanos += o.Pager.LockWaitNanos
+	for len(m.PagerShards) < len(o.PagerShards) {
+		m.PagerShards = append(m.PagerShards, storage.ShardStats{})
+	}
+	for i := range o.PagerShards {
+		m.PagerShards[i].Fetches += o.PagerShards[i].Fetches
+		m.PagerShards[i].Hits += o.PagerShards[i].Hits
+		m.PagerShards[i].Misses += o.PagerShards[i].Misses
+		m.PagerShards[i].Writes += o.PagerShards[i].Writes
+		m.PagerShards[i].Evictions += o.PagerShards[i].Evictions
+	}
 	m.Txn.Begins += o.Txn.Begins
 	m.Txn.Commits += o.Txn.Commits
 	m.Txn.Rollbacks += o.Txn.Rollbacks
@@ -170,6 +223,8 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Engine.MutWaits += o.Engine.MutWaits
 	m.Engine.MutWaitNanos += o.Engine.MutWaitNanos
 	m.Engine.FetchCalls += o.Engine.FetchCalls
+	m.Engine.BgCheckpoints += o.Engine.BgCheckpoints
+	m.Engine.BgCheckpointSkips += o.Engine.BgCheckpointSkips
 	m.CommitGroups.Merge(o.CommitGroups)
 	m.Exec.Merge(o.Exec)
 	m.Waits.Merge(o.Waits)
@@ -193,6 +248,14 @@ func (m Metrics) String() string {
 		m.Pager.Writes, m.Pager.Evictions, m.Pager.Allocs)
 	fmt.Fprintf(&b, "         lockWaits=%d lockWaitTime=%s\n",
 		m.Pager.LockWaits, time.Duration(m.Pager.LockWaitNanos).Round(time.Microsecond))
+	if len(m.PagerShards) > 0 {
+		fmt.Fprintf(&b, "shards:  %d · hit-rate skew %.1f%%..%.1f%%\n",
+			len(m.PagerShards), minShardHitRate(m.PagerShards)*100, maxShardHitRate(m.PagerShards)*100)
+		for i, s := range m.PagerShards {
+			fmt.Fprintf(&b, "  shard %2d: fetches=%d hits=%d misses=%d writes=%d evictions=%d (hit rate %.1f%%)\n",
+				i, s.Fetches, s.Hits, s.Misses, s.Writes, s.Evictions, s.HitRate()*100)
+		}
+	}
 	fmt.Fprintf(&b, "wal:     records=%d pages=%d commits=%d bytes=%d syncs=%d\n",
 		m.Pager.WALRecords, m.Pager.WALPages, m.Pager.WALCommits, m.Pager.WALBytes, m.Pager.WALSyncs)
 	if m.Pager.WALSyncs > 0 {
@@ -207,6 +270,10 @@ func (m Metrics) String() string {
 		m.Txn.Begins, m.Txn.Commits, m.Txn.Rollbacks)
 	fmt.Fprintf(&b, "engine:  selects=%d traced=%d slow=%d fetchCalls=%d\n",
 		m.Engine.Selects, m.Engine.TracedQueries, m.Engine.SlowQueries, m.Engine.FetchCalls)
+	if m.Engine.BgCheckpoints != 0 || m.Engine.BgCheckpointSkips != 0 {
+		fmt.Fprintf(&b, "         bgCheckpoints=%d bgCheckpointSkips=%d\n",
+			m.Engine.BgCheckpoints, m.Engine.BgCheckpointSkips)
+	}
 	fmt.Fprintf(&b, "         admission waits=%d waitTime=%s window waits=%d waitTime=%s\n",
 		m.Engine.AdmitWaits, time.Duration(m.Engine.AdmitWaitNanos).Round(time.Microsecond),
 		m.Engine.MutWaits, time.Duration(m.Engine.MutWaitNanos).Round(time.Microsecond))

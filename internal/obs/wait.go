@@ -56,6 +56,12 @@ const (
 	// WaitODCICallback: wall time spent inside cartridge ODCI callbacks
 	// — the extensibility boundary itself.
 	WaitODCICallback
+	// WaitCheckpointBackpressure: a buffer-pool shard had to grow past
+	// its frame target because every unpinned frame was dirty under the
+	// no-steal policy (counted, duration ~0). Each event also pokes the
+	// background checkpointer, which is the only thing that can shrink
+	// the pool again.
+	WaitCheckpointBackpressure
 
 	// NumWaitClasses bounds the table; not a real class.
 	NumWaitClasses
@@ -86,6 +92,8 @@ func (c WaitClass) String() string {
 		return "CheckpointBlocked"
 	case WaitODCICallback:
 		return "ODCICallback"
+	case WaitCheckpointBackpressure:
+		return "CheckpointBackpressure"
 	}
 	return fmt.Sprintf("WaitClass(%d)", int(c))
 }
@@ -152,6 +160,15 @@ func (a ActiveWait) Done() int64 {
 // the one mutation path into the table; StartWait/Done is sugar over
 // it. Negative durations clamp to zero.
 func (w *WaitStats) Record(class WaitClass, n int64) {
+	w.RecordAux(class, n, "")
+}
+
+// RecordAux is Record with a free-form payload that rides along on the
+// EvSlowWait flight event a slow wait emits (e.g. "shard=3" from a
+// contended pager-shard latch), so the recorder shows not just that a
+// latch was slow but which one. The table itself stays per-class; aux
+// costs nothing unless the wait crosses the slow threshold.
+func (w *WaitStats) RecordAux(class WaitClass, n int64, aux string) {
 	if w == nil || w.disabled.Load() || class < 0 || class >= NumWaitClasses {
 		return
 	}
@@ -164,7 +181,7 @@ func (w *WaitStats) Record(class WaitClass, n int64) {
 	c.maxNanos.StoreMax(n)
 	w.durations.Observe(n)
 	if t := w.slowNanos.Load(); t > 0 && n >= t {
-		w.flight.Load().Record(EvSlowWait, int64(class), n, "")
+		w.flight.Load().Record(EvSlowWait, int64(class), n, aux)
 	}
 }
 

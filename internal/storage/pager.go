@@ -10,12 +10,13 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -202,12 +203,12 @@ type Stats struct {
 	// WALSyncs is the commits-per-fsync ratio the W1 bench asserts on.
 	WALGroupedCommits int64
 
-	// LockWaits / LockWaitNanos count contended acquisitions of the
-	// pager mutex and the total time spent blocked on them. The single
-	// pool-wide mutex is the chokepoint parallel scans are expected to
-	// hit first (see ROADMAP: sharded buffer pool); these make it
-	// measurable before that PR lands. Uncontended acquisitions cost
-	// nothing and count nothing.
+	// LockWaits / LockWaitNanos count contended acquisitions of pager
+	// shard latches and the total time spent blocked on them. The pool is
+	// sharded by page-id hash precisely so parallel scans stop convoying
+	// here; these counters (and the per-shard WaitPagerLatch events) are
+	// the before/after evidence. Uncontended acquisitions cost nothing
+	// and count nothing.
 	LockWaits     int64
 	LockWaitNanos int64
 }
@@ -220,12 +221,45 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Fetches)
 }
 
+// ShardStats is one buffer-pool shard's slice of the pool counters,
+// exposed so a hot shard (hash skew, one scorching page chain) is
+// visible in \stats instead of averaged away.
+type ShardStats struct {
+	Fetches   int64
+	Hits      int64
+	Misses    int64
+	Writes    int64
+	Evictions int64
+}
+
+// HitRate returns the shard's buffer-pool hit fraction (0 with no
+// fetches).
+func (s ShardStats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
+}
+
 // Page is a pinned buffer-pool frame. Data is the full page image; callers
 // must mark the frame dirty through Pager.Unpin when they modify it.
 type Page struct {
-	ID    PageID
-	Data  []byte
-	pins  int
+	ID   PageID
+	Data []byte
+
+	// pins is the pin count. Atomic so pinning a resident frame (Fetch
+	// hit, under the shard's read lock) and releasing a clean pin (no
+	// shard lock at all) never serialize on the shard latch; the clock
+	// evictor reads it under the shard's write lock, which excludes both
+	// paths mid-flight.
+	pins atomic.Int32
+	// ref is the clock-eviction reference bit, set on every pin/unpin
+	// and cleared by the sweeping hand (second-chance).
+	ref atomic.Bool
+	// slot is the frame's index in its shard's clock slice (swap-remove
+	// bookkeeping). Guarded by the shard's write lock.
+	slot int
+	// dirty/logged/owner are guarded by the owning shard's write lock.
 	dirty bool
 	// logged records that the current dirty image has been appended to
 	// the WAL; a later modification clears it so the page is re-logged
@@ -242,7 +276,6 @@ type Page struct {
 	// the committing transaction's write set while other transactions
 	// have modifications in flight.
 	owner int64
-	elem  *list.Element // position in LRU when unpinned
 }
 
 // ErrWriteConflict is reported (via TakeConflict) when a mutation window
@@ -251,246 +284,413 @@ type Page struct {
 // roll back, and may be retried after the owner finishes.
 var ErrWriteConflict = errors.New("storage: page write conflict")
 
-// Pager is the buffer pool: it caches up to capacity page frames over a
-// Backend, tracking pins, dirty state, and I/O statistics. All methods are
-// safe for concurrent use.
-type Pager struct {
-	mu       sync.Mutex
-	backend  Backend
-	capacity int
-	frames   map[PageID]*Page
-	lru      *list.List // of PageID, front = most recent, only unpinned pages
-	stats    pagerCounters
-
-	freeList []PageID // pages released by dropped objects, reusable
-
-	// noSteal, set when a WAL governs the backend, forbids evicting
-	// dirty frames: uncommitted changes must never reach the page file,
-	// or a crash would surface them with no undo log to remove them.
-	// Dirty frames then stay resident until FlushAll (checkpoint).
-	noSteal bool
-
-	// curOwner / curUndo identify the mutation window currently allowed
-	// to dirty frames: Unpin attributes newly dirtied frames to curOwner
-	// (owner 0 = system writes, which stay orphans). In undo mode the
-	// restored content is committed-equivalent, so ownership is left
-	// untouched and no conflicts are recorded. The engine serializes
-	// mutation windows (one writer mutates page content at a time), which
-	// is what makes a single current-owner pair sufficient.
-	curOwner int64
-	curUndo  bool
-	// conflict holds the first cross-transaction dirtying observed in the
-	// current window; TakeConflict consumes it at statement end.
-	conflict error
-
-	// waits, when set, receives contended-latch intervals as
-	// WaitPagerLatch events. Written once at wiring time (SetWaitStats),
-	// read outside p.mu on the contended path; nil is safe.
-	waits *obs.WaitStats
+// writerCtx is the current mutation window's attribution: frames dirtied
+// while it is installed belong to owner (0 = system writes, which stay
+// orphans); undo marks committed-equivalent restores that must not
+// change ownership or record conflicts. One atomic pointer replaces the
+// old under-mutex pair: the engine serializes mutation windows, so a
+// plain swap in PushWriter is enough, and the dirty-unpin path reads it
+// without extra locking.
+type writerCtx struct {
+	owner int64
+	undo  bool
 }
 
-// NewPager creates a buffer pool with the given frame capacity (minimum 8)
-// over the backend.
-func NewPager(b Backend, capacity int) *Pager {
-	if capacity < 8 {
-		capacity = 8
-	}
-	return &Pager{
-		backend:  b,
-		capacity: capacity,
-		frames:   make(map[PageID]*Page),
-		lru:      list.New(),
-	}
-}
+// pagerShard is one hash slice of the buffer pool: its own frame table,
+// its own clock, its own latch. The RWMutex split is what the fetch path
+// depends on: a hit takes the latch shared (frame lookup + atomic pin),
+// so resident-page traffic from parallel scan workers proceeds
+// concurrently; only misses, dirty unpins, eviction, and the sweeps take
+// it exclusively.
+type pagerShard struct {
+	mu     sync.RWMutex
+	frames map[PageID]*Page
+	clock  []*Page // every resident frame; hand sweeps for victims
+	hand   int
 
-// pagerCounters are the pager's live I/O counters. Each field is an
-// atomic obs.Counter so Stats/ResetStats never race with increments even
-// if a future code path bumps one outside p.mu; the increments themselves
-// all run under p.mu, which is what makes the locked snapshot in Stats a
-// consistent cut across fields.
-type pagerCounters struct {
+	// Per-shard I/O counters (atomic, incremented while holding mu in
+	// either mode; Stats write-locks every shard, which drains in-flight
+	// holders and makes the cross-field snapshot a consistent cut).
 	fetches   obs.Counter
 	hits      obs.Counter
 	misses    obs.Counter
 	writes    obs.Counter
 	evictions obs.Counter
-	allocs    obs.Counter
-
-	// lockWaits/lockWaitNanos are incremented *outside* p.mu (in lock,
-	// after losing the TryLock race), which the atomic Counter type makes
-	// safe; they are therefore only eventually consistent with the
-	// under-mu counters above, which is fine for a contention gauge.
-	lockWaits     obs.Counter
-	lockWaitNanos obs.Counter
 }
 
-// lock acquires p.mu on a hot path, counting contended acquisitions and
-// the time spent blocked. The TryLock fast path keeps the uncontended
-// cost at a single atomic CAS — identical to a plain Lock — so serial
-// workloads pay nothing for the gauge.
-func (p *Pager) lock() {
-	if p.mu.TryLock() {
-		return
+// Pager is the buffer pool: it caches up to capacity page frames over a
+// Backend, sharded by page-id hash. All methods are safe for concurrent
+// use.
+type Pager struct {
+	backend  Backend
+	capacity int
+	shards   []pagerShard
+	shardCap int // per-shard frame target (capacity / len(shards), min 1)
+
+	// allocMu guards the free list and backend page allocation. It never
+	// nests with a shard latch: NewPage allocates first, then inserts;
+	// Free removes first, then releases the id.
+	allocMu  sync.Mutex
+	freeList []PageID // pages released by dropped objects, reusable
+
+	// Pool-level counters, outside any shard (eventually consistent with
+	// the per-shard set, which is fine — no invariant ties them).
+	allocs        obs.Counter
+	lockWaits     obs.Counter
+	lockWaitNanos obs.Counter
+
+	// dirtyPages tracks resident dirty frames pool-wide: the background
+	// checkpointer's watermark. Maintained at every clean<->dirty
+	// transition under the owning shard's write lock.
+	dirtyPages atomic.Int64
+
+	// noSteal, set when a WAL governs the backend, forbids evicting
+	// dirty frames: uncommitted changes must never reach the page file,
+	// or a crash would surface them with no undo log to remove them.
+	// Dirty frames then stay resident until FlushAll (checkpoint).
+	noSteal atomic.Bool
+
+	// writer is the current mutation window (see writerCtx). Never nil.
+	writer atomic.Pointer[writerCtx]
+
+	// conflictMu guards conflict, the first cross-transaction dirtying
+	// observed in the current window; TakeConflict consumes it at
+	// statement end. Always acquired inside a shard latch (declared in
+	// the engine's lock-order directives).
+	conflictMu sync.Mutex
+	conflict   error
+
+	// waits, when set, receives contended-latch intervals as
+	// WaitPagerLatch events (aux "shard=N") and pool-growth events as
+	// WaitCheckpointBackpressure. Written once at wiring time
+	// (SetWaitStats); nil is safe.
+	waits *obs.WaitStats
+	// pressure, when set, is called (without any pager lock beyond the
+	// growing shard's) each time a shard must grow past its frame target
+	// because every unpinned frame is dirty under no-steal — the signal
+	// that only a checkpoint can shrink the pool. It must not block and
+	// must not re-enter the pager.
+	pressure atomic.Pointer[func()]
+	// auxes holds the preformatted "shard=N" flight payloads so the
+	// contended-latch path allocates nothing.
+	auxes []string
+}
+
+// DefaultPagerShards is the buffer-pool shard count used when the caller
+// does not choose one. Deterministic (not GOMAXPROCS-derived) so fault
+// injection op counts and eviction order reproduce across machines.
+const DefaultPagerShards = 8
+
+// NewPager creates a buffer pool with the given frame capacity (minimum
+// 8) over the backend, with DefaultPagerShards shards.
+func NewPager(b Backend, capacity int) *Pager {
+	return NewPagerShards(b, capacity, 0)
+}
+
+// NewPagerShards is NewPager with an explicit shard count (<= 0 means
+// DefaultPagerShards). The capacity is a pool-wide frame target split
+// evenly across shards; a shard whose resident set is entirely pinned or
+// dirty-under-no-steal grows past its share rather than failing.
+func NewPagerShards(b Backend, capacity, shards int) *Pager {
+	if capacity < 8 {
+		capacity = 8
 	}
-	aw := p.waits.StartWait(obs.WaitPagerLatch)
-	p.mu.Lock()
-	n := aw.Done() // records WaitPagerLatch when wired; always measures
-	p.stats.lockWaits.Inc()
-	p.stats.lockWaitNanos.Add(n)
-	//vetx:ignore lockbalance -- acquisition helper: every caller defers p.mu.Unlock()
+	if shards <= 0 {
+		shards = DefaultPagerShards
+	}
+	shardCap := capacity / shards
+	if shardCap < 1 {
+		shardCap = 1
+	}
+	p := &Pager{
+		backend:  b,
+		capacity: capacity,
+		shards:   make([]pagerShard, shards),
+		shardCap: shardCap,
+		auxes:    make([]string, shards),
+	}
+	for i := range p.shards {
+		p.shards[i].frames = make(map[PageID]*Page)
+		p.auxes[i] = fmt.Sprintf("shard=%d", i)
+	}
+	p.writer.Store(&writerCtx{})
+	return p
+}
+
+// shardIndex hashes a page id onto a shard (Fibonacci multiplicative
+// hash — neighbouring ids land on different shards, so a sequential heap
+// scan spreads instead of convoying).
+func (p *Pager) shardIndex(id PageID) int {
+	return int((uint32(id) * 0x9E3779B1) % uint32(len(p.shards)))
+}
+
+// lockShard acquires a shard latch exclusively on a hot path, counting
+// contended acquisitions and the time spent blocked. The TryLock fast
+// path keeps the uncontended cost at a single atomic CAS, so serial
+// workloads pay nothing for the gauge.
+func (p *Pager) lockShard(i int) *pagerShard {
+	sh := &p.shards[i]
+	if sh.mu.TryLock() {
+		return sh
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	n := time.Since(start).Nanoseconds()
+	p.waits.RecordAux(obs.WaitPagerLatch, n, p.auxes[i])
+	p.lockWaits.Inc()
+	p.lockWaitNanos.Add(n)
+	//vetx:ignore lockbalance -- acquisition helper: every caller pairs it with sh.mu.Unlock()
+	return sh
+}
+
+// rlockShard is lockShard for the shared (fetch-hit) path.
+func (p *Pager) rlockShard(i int) *pagerShard {
+	sh := &p.shards[i]
+	if sh.mu.TryRLock() {
+		return sh
+	}
+	start := time.Now()
+	sh.mu.RLock()
+	n := time.Since(start).Nanoseconds()
+	p.waits.RecordAux(obs.WaitPagerLatch, n, p.auxes[i])
+	p.lockWaits.Inc()
+	p.lockWaitNanos.Add(n)
+	//vetx:ignore lockbalance -- acquisition helper: every caller pairs it with sh.mu.RUnlock()
+	return sh
 }
 
 // SetWaitStats routes contended-latch waits into the engine wait table.
 // Call once at wiring time, before concurrent use.
 func (p *Pager) SetWaitStats(w *obs.WaitStats) { p.waits = w }
 
-// Stats returns a snapshot of the pager's I/O counters. The snapshot is
-// taken under the pager mutex — the same lock every increment runs under
-// — so the fields form a consistent cut: the invariants build verifies
-// fetches == hits + misses on every snapshot.
-func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := Stats{
-		Fetches:   p.stats.fetches.Load(),
-		Hits:      p.stats.hits.Load(),
-		Misses:    p.stats.misses.Load(),
-		Writes:    p.stats.writes.Load(),
-		Evictions: p.stats.evictions.Load(),
-		Allocs:    p.stats.allocs.Load(),
+// SetPressure installs the checkpointer poke called when a shard grows
+// because all of its unpinned frames are dirty under no-steal. fn must
+// be non-blocking and must not call back into the pager.
+func (p *Pager) SetPressure(fn func()) { p.pressure.Store(&fn) }
 
-		LockWaits:     p.stats.lockWaits.Load(),
-		LockWaitNanos: p.stats.lockWaitNanos.Load(),
+// NumShards reports the shard count (benchmarks and tests).
+func (p *Pager) NumShards() int { return len(p.shards) }
+
+// DirtyCount reports the number of resident dirty frames — the
+// background checkpointer's dirty-page watermark input.
+func (p *Pager) DirtyCount() int64 { return p.dirtyPages.Load() }
+
+// Stats returns a snapshot of the pager's I/O counters. Every shard is
+// write-locked (in index order) while the per-shard counters are read,
+// which drains any in-flight fetch mid-increment — the fields form a
+// consistent cut, and the invariants build verifies fetches == hits +
+// misses on every snapshot.
+func (p *Pager) Stats() Stats {
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	s := Stats{
+		Allocs:        p.allocs.Load(),
+		LockWaits:     p.lockWaits.Load(),
+		LockWaitNanos: p.lockWaitNanos.Load(),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		s.Fetches += sh.fetches.Load()
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Writes += sh.writes.Load()
+		s.Evictions += sh.evictions.Load()
+	}
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
 	}
 	if invariantsEnabled && s.Fetches != s.Hits+s.Misses {
 		panic(fmt.Sprintf("storage: inconsistent pager stats snapshot: fetches=%d hits=%d misses=%d", s.Fetches, s.Hits, s.Misses))
 	}
+	//vetx:ignore lockbalance -- lock-all-shards snapshot: the descending loop above released every shard latch
 	return s
 }
 
+// ShardStats snapshots the per-shard counters (one entry per shard, in
+// shard order) so hit-rate skew across shards is observable. Each shard
+// is read under its own latch; the slice is not a cross-shard consistent
+// cut, which a skew report does not need.
+func (p *Pager) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		out[i] = ShardStats{
+			Fetches:   sh.fetches.Load(),
+			Hits:      sh.hits.Load(),
+			Misses:    sh.misses.Load(),
+			Writes:    sh.writes.Load(),
+			Evictions: sh.evictions.Load(),
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // ResetStats zeroes the I/O counters (used between benchmark phases).
-// Like Stats, it runs under the pager mutex so a reset cannot interleave
+// Like Stats, it write-locks every shard so a reset cannot interleave
 // with a statement's increments and tear the counters relative to each
 // other.
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.fetches.Store(0)
-	p.stats.hits.Store(0)
-	p.stats.misses.Store(0)
-	p.stats.writes.Store(0)
-	p.stats.evictions.Store(0)
-	p.stats.allocs.Store(0)
-	p.stats.lockWaits.Store(0)
-	p.stats.lockWaitNanos.Store(0)
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.fetches.Store(0)
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.writes.Store(0)
+		sh.evictions.Store(0)
+	}
+	p.allocs.Store(0)
+	p.lockWaits.Store(0)
+	p.lockWaitNanos.Store(0)
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
+	}
+	//vetx:ignore lockbalance -- lock-all-shards reset: the descending loop above released every shard latch
 }
 
 // Fetch pins the page in the pool, reading it from the backend on a miss.
-// The caller must Unpin it when done.
+// The caller must Unpin it when done. The resident path runs under the
+// shard's shared latch with an atomic pin — concurrent hits on one shard
+// (and on different shards) do not serialize.
 func (p *Pager) Fetch(id PageID) (*Page, error) {
-	p.lock()
-	defer p.mu.Unlock()
-	p.stats.fetches.Inc()
-	if pg, ok := p.frames[id]; ok {
-		p.stats.hits.Inc()
-		p.pinLocked(pg)
+	idx := p.shardIndex(id)
+	sh := p.rlockShard(idx)
+	if pg, ok := sh.frames[id]; ok {
+		sh.fetches.Inc()
+		sh.hits.Inc()
+		pg.pins.Add(1)
+		pg.ref.Store(true)
+		sh.mu.RUnlock()
 		return pg, nil
 	}
-	p.stats.misses.Inc()
-	if err := p.evictIfFullLocked(); err != nil {
+	sh.mu.RUnlock()
+
+	sh = p.lockShard(idx)
+	defer sh.mu.Unlock()
+	sh.fetches.Inc()
+	if pg, ok := sh.frames[id]; ok {
+		// Another goroutine brought it in between our two lockings.
+		sh.hits.Inc()
+		pg.pins.Add(1)
+		pg.ref.Store(true)
+		return pg, nil
+	}
+	sh.misses.Inc()
+	if err := p.evictIfFullLocked(sh); err != nil {
 		return nil, err
 	}
-	pg := &Page{ID: id, Data: make([]byte, PageSize), pins: 1}
+	pg := &Page{ID: id, Data: make([]byte, PageSize)}
+	pg.pins.Store(1)
+	pg.ref.Store(true)
 	if err := p.backend.ReadPage(id, pg.Data); err != nil {
 		return nil, err
 	}
-	p.frames[id] = pg
+	p.insertLocked(sh, pg)
 	return pg, nil
 }
 
 // NewPage allocates a fresh zeroed page (reusing freed pages when
 // available), pins it, and returns it marked dirty.
 func (p *Pager) NewPage() (*Page, error) {
-	p.lock()
-	defer p.mu.Unlock()
+	p.allocMu.Lock()
 	var id PageID
 	if n := len(p.freeList); n > 0 {
 		id = p.freeList[n-1]
 		p.freeList = p.freeList[:n-1]
+		p.allocMu.Unlock()
 	} else {
 		var err error
 		id, err = p.backend.Allocate()
+		p.allocMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 	}
-	p.stats.allocs.Inc()
-	if err := p.evictIfFullLocked(); err != nil {
+	p.allocs.Inc()
+	sh := p.lockShard(p.shardIndex(id))
+	defer sh.mu.Unlock()
+	if err := p.evictIfFullLocked(sh); err != nil {
 		return nil, err
 	}
-	pg := &Page{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
-	if !p.curUndo {
-		pg.owner = p.curOwner
+	pg := &Page{ID: id, Data: make([]byte, PageSize), dirty: true}
+	pg.pins.Store(1)
+	pg.ref.Store(true)
+	if w := p.writer.Load(); !w.undo {
+		pg.owner = w.owner
 	}
-	p.frames[id] = pg
+	p.dirtyPages.Add(1)
+	p.insertLocked(sh, pg)
 	return pg, nil
 }
 
 // Unpin releases one pin; dirty records that the caller modified the page.
+// A clean unpin touches no lock at all: the ref bit and pin count are
+// atomic, and the frame cannot be evicted concurrently because eviction
+// holds the shard latch exclusively and rechecks the pin count there.
 func (p *Pager) Unpin(pg *Page, dirty bool) {
-	p.lock()
-	defer p.mu.Unlock()
-	if dirty {
-		pg.dirty = true
-		pg.logged = false
-		if p.curOwner != 0 && !p.curUndo {
-			switch pg.owner {
-			case 0:
-				pg.owner = p.curOwner
-			case p.curOwner:
-				// already ours
-			default:
-				if p.conflict == nil {
-					p.conflict = fmt.Errorf("%w: page %d is modified by uncommitted transaction %d", ErrWriteConflict, pg.ID, pg.owner)
-				}
+	if !dirty {
+		pg.ref.Store(true)
+		if pg.pins.Add(-1) < 0 {
+			panic("storage: page unpinned more times than pinned")
+		}
+		return
+	}
+	sh := p.lockShard(p.shardIndex(pg.ID))
+	defer sh.mu.Unlock()
+	if !pg.dirty {
+		p.dirtyPages.Add(1)
+	}
+	pg.dirty = true
+	pg.logged = false
+	if w := p.writer.Load(); w.owner != 0 && !w.undo {
+		switch pg.owner {
+		case 0:
+			pg.owner = w.owner
+		case w.owner:
+			// already ours
+		default:
+			p.conflictMu.Lock()
+			if p.conflict == nil {
+				p.conflict = fmt.Errorf("%w: page %d is modified by uncommitted transaction %d", ErrWriteConflict, pg.ID, pg.owner)
 			}
+			p.conflictMu.Unlock()
 		}
 	}
-	pg.pins--
-	if pg.pins < 0 {
+	pg.ref.Store(true)
+	if pg.pins.Add(-1) < 0 {
 		panic("storage: page unpinned more times than pinned")
-	}
-	if pg.pins == 0 {
-		pg.elem = p.lru.PushFront(pg.ID)
 	}
 }
 
 // Free returns a page to the allocator for reuse. The page must be
 // unpinned; its contents are discarded.
 func (p *Pager) Free(id PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if pg, ok := p.frames[id]; ok {
-		if pg.pins > 0 {
+	sh := p.lockShard(p.shardIndex(id))
+	if pg, ok := sh.frames[id]; ok {
+		if pg.pins.Load() > 0 {
+			sh.mu.Unlock()
 			panic("storage: freeing a pinned page")
 		}
-		if pg.elem != nil {
-			p.lru.Remove(pg.elem)
+		if pg.dirty {
+			p.dirtyPages.Add(-1)
 		}
-		delete(p.frames, id)
+		p.removeLocked(sh, pg)
 	}
+	sh.mu.Unlock()
+	p.allocMu.Lock()
 	p.freeList = append(p.freeList, id)
+	p.allocMu.Unlock()
 }
 
 // SetNoSteal switches the pool to a no-steal eviction policy: dirty
 // frames are never written back outside FlushAll. The engine enables it
 // when a WAL governs the backend (redo-only logging is correct only if
 // uncommitted changes cannot reach the page file).
-func (p *Pager) SetNoSteal(on bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.noSteal = on
-}
+func (p *Pager) SetNoSteal(on bool) { p.noSteal.Store(on) }
 
 // PushWriter opens a mutation window: until the returned restore runs,
 // frames dirtied through Unpin/NewPage are attributed to owner (0 =
@@ -500,17 +700,10 @@ func (p *Pager) SetNoSteal(on bool) {
 // Windows nest (callback sessions, statement-level rollback inside a
 // statement); restore reinstates the enclosing window's attribution.
 // The engine serializes mutation windows, so at most one owner is
-// current at a time.
+// current at a time — which is what makes the plain pointer swap safe.
 func (p *Pager) PushWriter(owner int64, undo bool) (restore func()) {
-	p.mu.Lock()
-	prevOwner, prevUndo := p.curOwner, p.curUndo
-	p.curOwner, p.curUndo = owner, undo
-	p.mu.Unlock()
-	return func() {
-		p.mu.Lock()
-		p.curOwner, p.curUndo = prevOwner, prevUndo
-		p.mu.Unlock()
-	}
+	prev := p.writer.Swap(&writerCtx{owner: owner, undo: undo})
+	return func() { p.writer.Store(prev) }
 }
 
 // TakeConflict returns and clears the first cross-transaction write
@@ -519,8 +712,8 @@ func (p *Pager) PushWriter(owner int64, undo bool) (restore func()) {
 // a non-nil result means the statement dirtied another uncommitted
 // transaction's frame and must roll back.
 func (p *Pager) TakeConflict() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.conflictMu.Lock()
+	defer p.conflictMu.Unlock()
 	err := p.conflict
 	p.conflict = nil
 	return err
@@ -535,25 +728,32 @@ func (p *Pager) ReleaseOwner(owner int64) {
 	if owner == 0 {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, pg := range p.frames {
-		if pg.owner == owner {
-			pg.owner = 0
+	for i := range p.shards {
+		sh := p.lockShard(i)
+		for _, pg := range sh.frames {
+			if pg.owner == owner {
+				pg.owner = 0
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // PagesOwnedBy returns the sorted ids of frames the transaction owns —
 // its current write set (tests and invariants).
 func (p *Pager) PagesOwnedBy(owner int64) []PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if owner == 0 {
+		return nil
+	}
 	var ids []PageID
-	for id, pg := range p.frames {
-		if pg.owner == owner && owner != 0 {
-			ids = append(ids, id)
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		for id, pg := range sh.frames {
+			if pg.owner == owner {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -563,13 +763,15 @@ func (p *Pager) PagesOwnedBy(owner int64) []PageID {
 // transaction. Checkpoints require it to be empty: every owner must have
 // committed or rolled back before dirty pages may reach the page file.
 func (p *Pager) OwnedPages() []PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var ids []PageID
-	for id, pg := range p.frames {
-		if pg.owner != 0 {
-			ids = append(ids, id)
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		for id, pg := range sh.frames {
+			if pg.owner != 0 {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -584,53 +786,86 @@ func (p *Pager) OwnedPages() []PageID {
 // are skipped: that is the per-transaction write-set contract that lets
 // concurrent writers commit without logging each other's in-flight
 // changes. Returns how many pages were appended.
+//
+// The sweep runs inside the committing transaction's mutation window, so
+// no frame's dirty/logged/owner state changes under it; the two-phase
+// shape (collect across shards, then log in one globally sorted pass)
+// keeps the append order — and therefore every fault-injection op count
+// — identical to the single-latch pager's.
 func (p *Pager) AppendUnloggedFor(w *WAL, owner int64) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	// Deterministic order makes crash points reproducible.
 	var ids []PageID
-	for id, pg := range p.frames {
-		if pg.dirty && !pg.logged && (pg.owner == owner || pg.owner == 0) {
-			ids = append(ids, id)
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		for id, pg := range sh.frames {
+			if pg.dirty && !pg.logged && (pg.owner == owner || pg.owner == 0) {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	appended := 0
 	for _, id := range ids {
-		pg := p.frames[id]
-		if err := w.AppendPage(id, pg.Data); err != nil {
+		sh := p.lockShard(p.shardIndex(id))
+		pg, ok := sh.frames[id]
+		if !ok || !pg.dirty || pg.logged || (pg.owner != owner && pg.owner != 0) {
+			sh.mu.Unlock()
+			continue // state moved between the phases; not ours to log
+		}
+		err := w.AppendPage(id, pg.Data)
+		if err != nil {
+			sh.mu.Unlock()
 			return 0, err
 		}
 		pg.logged = true
 		pg.owner = 0
+		sh.mu.Unlock()
+		appended++
 	}
-	return len(ids), nil
+	return appended, nil
 }
 
 // FlushAll writes every dirty frame back to the backend and syncs it.
+// Callers guarantee quiescence of writers (Checkpoint holds admission
+// exclusively), so the two-phase sweep cannot race a new dirtying of the
+// frames it collected.
 func (p *Pager) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	// Deterministic order makes crash points in fault-injecting backends
 	// reproducible run to run.
 	var ids []PageID
-	for id, pg := range p.frames {
-		if pg.dirty {
-			ids = append(ids, id)
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		for id, pg := range sh.frames {
+			if pg.dirty {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		pg := p.frames[id]
-		if invariantsEnabled && p.noSteal && pg.owner != 0 {
+		sh := p.lockShard(p.shardIndex(id))
+		pg, ok := sh.frames[id]
+		if !ok || !pg.dirty {
+			sh.mu.Unlock()
+			continue
+		}
+		if invariantsEnabled && p.noSteal.Load() && pg.owner != 0 {
+			sh.mu.Unlock()
 			panic(fmt.Sprintf("storage: flushing page %d owned by uncommitted transaction %d", id, pg.owner))
 		}
-		if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+		err := p.backend.WritePage(pg.ID, pg.Data)
+		if err != nil {
+			sh.mu.Unlock()
 			return err
 		}
-		p.stats.writes.Inc()
+		sh.writes.Inc()
 		pg.dirty = false
 		pg.logged = false
 		pg.owner = 0
+		p.dirtyPages.Add(-1)
+		sh.mu.Unlock()
 	}
 	return p.backend.Sync()
 }
@@ -660,58 +895,98 @@ func (p *Pager) CloseDiscard() error {
 // Close) means some code path leaked a pin; the invariants build panics
 // on it at Close.
 func (p *Pager) PinnedPages() []PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var ids []PageID
-	for id, pg := range p.frames {
-		if pg.pins > 0 {
-			ids = append(ids, id)
+	for i := range p.shards {
+		sh := p.rlockShard(i)
+		for id, pg := range sh.frames {
+			if pg.pins.Load() > 0 {
+				ids = append(ids, id)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-func (p *Pager) pinLocked(pg *Page) {
-	if pg.pins == 0 && pg.elem != nil {
-		p.lru.Remove(pg.elem)
-		pg.elem = nil
-	}
-	pg.pins++
+// insertLocked adds a frame to the shard's table and clock. Caller holds
+// sh.mu exclusively.
+func (p *Pager) insertLocked(sh *pagerShard, pg *Page) {
+	pg.slot = len(sh.clock)
+	sh.clock = append(sh.clock, pg)
+	sh.frames[pg.ID] = pg
 }
 
-// evictIfFullLocked makes room for one more frame by evicting the
-// least-recently-used unpinned page, writing it back if dirty. If every
-// frame is pinned the pool grows past capacity rather than failing,
-// matching the behaviour of real pools under pin pressure.
-func (p *Pager) evictIfFullLocked() error {
-	if len(p.frames) < p.capacity {
+// removeLocked deletes a frame from the shard's table and clock
+// (swap-remove; O(1)). Caller holds sh.mu exclusively.
+func (p *Pager) removeLocked(sh *pagerShard, pg *Page) {
+	last := len(sh.clock) - 1
+	moved := sh.clock[last]
+	sh.clock[pg.slot] = moved
+	moved.slot = pg.slot
+	sh.clock[last] = nil
+	sh.clock = sh.clock[:last]
+	if sh.hand > last {
+		sh.hand = 0
+	}
+	delete(sh.frames, pg.ID)
+}
+
+// evictIfFullLocked makes room for one more frame in the shard using
+// clock (second-chance) eviction: the hand sweeps the resident set,
+// clearing reference bits and skipping pinned frames; the first
+// unreferenced, unpinned (and, under no-steal, clean) frame is the
+// victim, written back if dirty. Caller holds sh.mu exclusively.
+//
+// When no victim exists the shard grows past its target instead of
+// failing. If the blocker is dirt — unpinned frames that no-steal
+// forbids stealing — growth is not silent: a CheckpointBackpressure
+// wait is recorded and the checkpointer is poked, because only a
+// checkpoint can clean those frames and shrink the pool again. (This
+// replaces the old single-pool pager's unbounded "grows until the next
+// FlushAll" note.)
+func (p *Pager) evictIfFullLocked(sh *pagerShard) error {
+	if len(sh.frames) < p.shardCap {
 		return nil
 	}
-	back := p.lru.Back()
-	if p.noSteal {
-		// Walk towards the front for the least-recently-used *clean*
-		// page; dirty pages must not be stolen to the backend before the
-		// checkpoint writes them (redo-only WAL). If every unpinned page
-		// is dirty the pool grows until the next FlushAll.
-		for back != nil && p.frames[back.Value.(PageID)].dirty {
-			back = back.Prev()
+	noSteal := p.noSteal.Load()
+	dirtyBlocked := false
+	for scanned := 2 * len(sh.clock); scanned > 0; scanned-- {
+		if sh.hand >= len(sh.clock) {
+			sh.hand = 0
+		}
+		pg := sh.clock[sh.hand]
+		if pg.pins.Load() > 0 {
+			sh.hand++
+			continue
+		}
+		if noSteal && pg.dirty {
+			dirtyBlocked = true
+			sh.hand++
+			continue
+		}
+		if pg.ref.Swap(false) {
+			sh.hand++
+			continue // second chance
+		}
+		if pg.dirty {
+			if err := p.backend.WritePage(pg.ID, pg.Data); err != nil {
+				return err
+			}
+			sh.writes.Inc()
+			p.dirtyPages.Add(-1)
+		}
+		p.removeLocked(sh, pg)
+		sh.evictions.Inc()
+		return nil
+	}
+	if dirtyBlocked {
+		// All-dirty shard under no-steal: grow, but loudly — the
+		// checkpointer is the only path back under the target.
+		p.waits.Record(obs.WaitCheckpointBackpressure, 0)
+		if fn := p.pressure.Load(); fn != nil {
+			(*fn)()
 		}
 	}
-	if back == nil {
-		return nil // all pinned (or all dirty under no-steal); allow growth
-	}
-	id := back.Value.(PageID)
-	p.lru.Remove(back)
-	victim := p.frames[id]
-	victim.elem = nil
-	if victim.dirty {
-		if err := p.backend.WritePage(victim.ID, victim.Data); err != nil {
-			return err
-		}
-		p.stats.writes.Inc()
-	}
-	delete(p.frames, id)
-	p.stats.evictions.Inc()
-	return nil
+	return nil // all pinned (or all dirty under no-steal); allow growth
 }
